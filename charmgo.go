@@ -1,0 +1,173 @@
+// Package charmgo is a Go implementation of the CharmPy parallel
+// programming model (Galvez, Senthil, Kale: "CharmPy: A Python Parallel
+// Programming Model", IEEE CLUSTER 2018) together with the Charm++-style
+// message-driven runtime it runs on.
+//
+// The model is the paradigm of distributed migratable objects ("chares")
+// with asynchronous remote method invocation:
+//
+//	type Greeter struct {
+//	    charmgo.Chare
+//	}
+//
+//	func (g *Greeter) SayHi(msg string) { fmt.Println(msg, "from PE", g.MyPE()) }
+//
+//	func main() {
+//	    charmgo.Run(charmgo.Config{PEs: 4},
+//	        func(rt *charmgo.Runtime) { rt.Register(&Greeter{}) },
+//	        func(self *charmgo.Chare) {
+//	            defer self.Exit()
+//	            g := self.NewGroup(&Greeter{})
+//	            g.Call("SayHi", "hello")          // broadcast, asynchronous
+//	            f := g.At(2).CallRet("SayHi", "!") // per-element, with future
+//	            f.Get()                            // suspends; PE keeps working
+//	        })
+//	}
+//
+// Features mirroring the paper: chare Groups and N-dimensional Arrays
+// (dense and sparse with dynamic insertion, custom ArrayMaps), broadcasts,
+// asynchronous reductions with built-in and custom reducers, futures,
+// threaded entry methods with wait conditions, string "when" conditions for
+// message ordering, chare migration, and measurement-based dynamic load
+// balancing (AtSync protocol, strategies in internal/lb).
+//
+// A single Runtime hosts multiple PEs (scheduler goroutines) in one
+// process; multi-process/multi-host jobs connect runtimes with the TCP
+// transport (see RunFromEnv and cmd/charmrun).
+package charmgo
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"charmgo/internal/core"
+	"charmgo/internal/transport"
+)
+
+// Re-exported core types; see package core for full documentation.
+type (
+	// Chare is the distributed-object base class; embed it in your structs.
+	Chare = core.Chare
+	// Proxy performs asynchronous remote method invocation.
+	Proxy = core.Proxy
+	// Future is a placeholder for an asynchronously produced value.
+	Future = core.Future
+	// PE identifies a processing element.
+	PE = core.PE
+	// Reducer names a reduction function.
+	Reducer = core.Reducer
+	// Target names the receiver of a reduction result.
+	Target = core.Target
+	// Config configures a Runtime node.
+	Config = core.Config
+	// Runtime is one node of a job.
+	Runtime = core.Runtime
+	// DispatchMode selects static (Charm++-like) or dynamic (CharmPy-like)
+	// entry method dispatch.
+	DispatchMode = core.DispatchMode
+	// RegOpt configures chare type registration.
+	RegOpt = core.RegOpt
+	// ArrayMap computes initial element placement for chare arrays.
+	ArrayMap = core.ArrayMap
+	// LBObject describes a migratable object to a load balancer.
+	LBObject = core.LBObject
+	// LBStrategy computes new object placements from measured loads.
+	LBStrategy = core.LBStrategy
+	// FastDispatcher lets a chare type bypass reflection in static mode.
+	FastDispatcher = core.FastDispatcher
+	// CID identifies a chare collection (used by checkpoint restart).
+	CID = core.CID
+	// Channel is a direct-style ordered pairwise stream between two chares,
+	// usable from threaded entry methods (charm4py's Channel API).
+	Channel = core.Channel
+)
+
+// NewChannel creates this chare's endpoint of a channel to the peer element.
+func NewChannel(self *Chare, peer Proxy, port ...int) *Channel {
+	return core.NewChannel(self, peer, port...)
+}
+
+// Restart restores a checkpoint written by Chare.Checkpoint into a fresh
+// runtime, possibly with a different PE count (shrink-expand), and runs
+// entry with proxies to the restored collections. See core.Restart.
+func Restart(rt *Runtime, path string, entry func(self *Chare, colls map[CID]Proxy)) error {
+	return core.Restart(rt, path, entry)
+}
+
+// Re-exported constants.
+const (
+	// AnyPE lets the runtime choose the PE for a single chare.
+	AnyPE = core.AnyPE
+	// StaticDispatch models Charm++ compiled dispatch.
+	StaticDispatch = core.StaticDispatch
+	// DynamicDispatch models CharmPy interpreted dispatch.
+	DynamicDispatch = core.DynamicDispatch
+)
+
+// Built-in reducers (paper section II-F).
+var (
+	SumReducer     = core.SumReducer
+	ProductReducer = core.ProductReducer
+	MaxReducer     = core.MaxReducer
+	MinReducer     = core.MinReducer
+	GatherReducer  = core.GatherReducer
+	AndReducer     = core.AndReducer
+	OrReducer      = core.OrReducer
+	NopReducer     = core.NopReducer
+)
+
+// Registration options (see core.When, core.Threaded, core.ArgNames).
+var (
+	When     = core.When
+	Threaded = core.Threaded
+	ArgNames = core.ArgNames
+)
+
+// NewRuntime creates a node runtime.
+func NewRuntime(cfg Config) *Runtime { return core.NewRuntime(cfg) }
+
+// Run is the common single-process entry point: it creates a runtime,
+// registers chare types via reg, and runs entry as the program entry point,
+// blocking until the job exits.
+func Run(cfg Config, reg func(*Runtime), entry func(self *Chare)) {
+	rt := core.NewRuntime(cfg)
+	if reg != nil {
+		reg(rt)
+	}
+	rt.Start(entry)
+}
+
+// RunFromEnv is Run for multi-process jobs launched by cmd/charmrun: if the
+// CHARMGO_ADDRS environment variable is set (a comma-separated address
+// list), the process connects to its peers over TCP using CHARMGO_NODE as
+// its node id and hosts CHARMGO_PES PEs; otherwise it behaves like Run.
+// Node 0 executes the entry point.
+func RunFromEnv(cfg Config, reg func(*Runtime), entry func(self *Chare)) error {
+	addrs := os.Getenv("CHARMGO_ADDRS")
+	if addrs == "" {
+		Run(cfg, reg, entry)
+		return nil
+	}
+	list := strings.Split(addrs, ",")
+	nodeID, err := strconv.Atoi(os.Getenv("CHARMGO_NODE"))
+	if err != nil || nodeID < 0 || nodeID >= len(list) {
+		return fmt.Errorf("charmgo: bad CHARMGO_NODE %q for %d nodes", os.Getenv("CHARMGO_NODE"), len(list))
+	}
+	if pes := os.Getenv("CHARMGO_PES"); pes != "" {
+		n, err := strconv.Atoi(pes)
+		if err != nil || n < 1 {
+			return fmt.Errorf("charmgo: bad CHARMGO_PES %q", pes)
+		}
+		cfg.PEs = n
+	}
+	tr, err := transport.NewTCP(nodeID, list)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	cfg.Transport = tr
+	Run(cfg, reg, entry)
+	return nil
+}

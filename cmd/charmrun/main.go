@@ -1,0 +1,66 @@
+// Charmrun launches a charmgo program across multiple OS processes on this
+// host, the way the paper's applications are launched by charmrun/mpirun
+// (section IV-A). The target program must start its runtime with
+// charmgo.RunFromEnv; charmrun assigns each process a node id, a TCP
+// address, and a PE count through the environment.
+//
+//	go build -o /tmp/quickstart ./examples/quickstart
+//	go run ./cmd/charmrun -np 2 -pes 2 /tmp/quickstart
+//
+// (The bundled examples use charmgo.Run; see examples/disthello for one
+// that is charmrun-ready.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+)
+
+func main() {
+	np := flag.Int("np", 2, "number of processes (nodes)")
+	pes := flag.Int("pes", 1, "PEs per process")
+	basePort := flag.Int("baseport", 42100, "first TCP port")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: charmrun [-np N] [-pes K] <binary> [args...]")
+		os.Exit(2)
+	}
+	bin := flag.Arg(0)
+	args := flag.Args()[1:]
+
+	addrs := make([]string, *np)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", *basePort+i)
+	}
+	addrList := strings.Join(addrs, ",")
+
+	var wg sync.WaitGroup
+	fail := make(chan error, *np)
+	for node := 0; node < *np; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			cmd := exec.Command(bin, args...)
+			cmd.Env = append(os.Environ(),
+				fmt.Sprintf("CHARMGO_ADDRS=%s", addrList),
+				fmt.Sprintf("CHARMGO_NODE=%d", node),
+				fmt.Sprintf("CHARMGO_PES=%d", *pes),
+			)
+			cmd.Stdout = os.Stdout
+			cmd.Stderr = os.Stderr
+			if err := cmd.Run(); err != nil {
+				fail <- fmt.Errorf("node %d: %w", node, err)
+			}
+		}(node)
+	}
+	wg.Wait()
+	close(fail)
+	if err := <-fail; err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

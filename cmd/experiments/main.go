@@ -1,0 +1,114 @@
+// Experiments regenerates the paper's evaluation figures (section V).
+//
+//	go run ./cmd/experiments              # all four figures, default calibration
+//	go run ./cmd/experiments -fig 3       # one figure
+//	go run ./cmd/experiments -calibrate   # measure this host's constants first
+//	go run ./cmd/experiments -real        # also run the real runtime at host scale
+//
+// Figures 1-4 are produced by the calibrated cluster simulator
+// (internal/simcluster); -real additionally executes the actual runtime on
+// this machine's PEs as a small-scale cross-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"charmgo/internal/bench"
+	"charmgo/internal/core"
+	"charmgo/internal/lb"
+	"charmgo/internal/simcluster"
+	"charmgo/internal/stencil"
+
+	lmd "charmgo/internal/leanmd"
+)
+
+func main() {
+	figFlag := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4 or all")
+	calibrate := flag.Bool("calibrate", false, "measure calibration constants on this host (slower)")
+	real := flag.Bool("real", false, "also run real-runtime small-scale versions")
+	flag.Parse()
+
+	cal := simcluster.Default()
+	if *calibrate {
+		fmt.Println("calibrating on this host...")
+		cal = simcluster.Measure()
+	}
+	fmt.Printf("calibration: kernel %.2f ns/cell, msg overhead static %.2f us / dynamic %.2f us / mpi %.2f us\n\n",
+		cal.KernelSecPerCell*1e9, cal.StaticMsgSec*1e6, cal.DynamicMsgSec*1e6, cal.MPIMsgSec*1e6)
+
+	var figs []bench.Figure
+	switch *figFlag {
+	case "all":
+		figs = bench.All(cal)
+	case "1":
+		figs = []bench.Figure{bench.Fig1(cal)}
+	case "2":
+		figs = []bench.Figure{bench.Fig2(cal)}
+	case "3":
+		figs = []bench.Figure{bench.Fig3(cal)}
+	case "4":
+		figs = []bench.Figure{bench.Fig4(cal)}
+	case "lb":
+		figs = []bench.Figure{bench.AblationLB(cal)}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
+		os.Exit(2)
+	}
+	for _, f := range figs {
+		bench.Print(os.Stdout, f)
+	}
+
+	if *real {
+		runReal()
+	}
+}
+
+// runReal executes the actual runtime on this host as a cross-check. With
+// fewer physical cores than PEs the absolute times do not scale, but the
+// implementation gaps and LB balance improvements are directly measurable.
+func runReal() {
+	fmt.Printf("=== real runtime on this host (%d hardware threads) ===\n\n", runtime.NumCPU())
+
+	p := stencil.Params{GridX: 48, GridY: 48, GridZ: 48, BX: 2, BY: 2, BZ: 2, Iters: 40}
+	st, err := stencil.RunCharm(p, core.Config{PEs: 4})
+	must(err)
+	dy, err := stencil.RunCharm(p, core.Config{PEs: 4, Dispatch: core.DynamicDispatch})
+	must(err)
+	mp, err := stencil.RunMPI(p)
+	must(err)
+	fmt.Println("stencil3d (48^3, 8 blocks, 4 PEs):")
+	for _, r := range []stencil.Result{st, dy, mp} {
+		fmt.Printf("  %-14s %7.2f ms/step\n", r.Impl, r.TimePerStepMS)
+	}
+
+	pi := stencil.Params{GridX: 32, GridY: 32, GridZ: 32, BX: 2, BY: 4, BZ: 2,
+		Iters: 90, Imbalance: true}
+	noLB, err := stencil.RunCharm(pi, core.Config{PEs: 4})
+	must(err)
+	pi.LBPeriod = 30
+	withLB, err := stencil.RunCharm(pi, core.Config{PEs: 4, LB: lb.Greedy{}})
+	must(err)
+	fmt.Printf("\nimbalanced stencil3d, final-window PE balance (max/avg):\n")
+	fmt.Printf("  %-14s %.2f\n  %-14s %.2f\n", "no LB", noLB.MaxOverAvg, "GreedyLB", withLB.MaxOverAvg)
+
+	pm := lmd.DefaultParams()
+	pm.Steps = 10
+	md, err := lmd.RunCharm(pm, core.Config{PEs: 4})
+	must(err)
+	mdDyn, err := lmd.RunCharm(pm, core.Config{PEs: 4, Dispatch: core.DynamicDispatch})
+	must(err)
+	fmt.Printf("\nLeanMD (%d cells + %d computes, 4 PEs):\n", md.Cells, md.Computes)
+	fmt.Printf("  %-14s %7.2f ms/step\n", "charm-static", md.TimePerStepMS)
+	fmt.Printf("  %-14s %7.2f ms/step (%.1f%% overhead)\n", "charm-dynamic",
+		mdDyn.TimePerStepMS, (mdDyn.TimePerStepMS/md.TimePerStepMS-1)*100)
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

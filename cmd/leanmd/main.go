@@ -1,0 +1,72 @@
+// Leanmd is the command-line driver for the LeanMD mini-app (paper section
+// V-C).
+//
+//	go run ./cmd/leanmd -cells 3 -percell 10 -steps 50 -pes 4
+//	go run ./cmd/leanmd -dispatch dynamic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"charmgo/internal/core"
+	"charmgo/internal/leanmd"
+)
+
+func main() {
+	cells := flag.Int("cells", 3, "cells per dimension (>= 3)")
+	perCell := flag.Int("percell", 10, "particles per cell")
+	steps := flag.Int("steps", 20, "MD timesteps")
+	dt := flag.Float64("dt", 5e-4, "timestep")
+	pes := flag.Int("pes", 4, "PEs")
+	migrate := flag.Int("migrate", 4, "atom exchange period in steps (0 = off)")
+	dispatch := flag.String("dispatch", "static", "dispatch mode: static (Charm++ model) or dynamic (CharmPy model)")
+	verify := flag.Bool("verify", true, "compare against the sequential reference")
+	flag.Parse()
+
+	p := leanmd.DefaultParams()
+	p.CX, p.CY, p.CZ = *cells, *cells, *cells
+	p.PerCell = *perCell
+	p.Steps = *steps
+	p.DT = *dt
+	p.MigrateEvery = *migrate
+
+	cfg := core.Config{PEs: *pes}
+	switch *dispatch {
+	case "static":
+	case "dynamic":
+		cfg.Dispatch = core.DynamicDispatch
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dispatch mode %q\n", *dispatch)
+		os.Exit(2)
+	}
+
+	res, err := leanmd.RunCharm(p, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("LeanMD (%s dispatch): %d cells + %d computes on %d PEs, %d particles\n",
+		*dispatch, res.Cells, res.Computes, res.PEs, res.Summary.Particles)
+	fmt.Printf("time per step: %.3f ms (wall %.3f s)\n", res.TimePerStepMS, res.WallSeconds)
+	fmt.Printf("kinetic energy: %.6f   momentum: (%.2e, %.2e, %.2e)\n",
+		res.Summary.KE, res.Summary.Px, res.Summary.Py, res.Summary.Pz)
+
+	if *verify {
+		ref, err := leanmd.RunSequential(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rel := math.Abs(res.Summary.KE-ref.KE) / math.Max(ref.KE, 1e-12)
+		if res.Summary.Particles == ref.Particles && rel < 1e-5 {
+			fmt.Printf("verified against sequential reference (KE rel. diff %.2e)\n", rel)
+		} else {
+			fmt.Printf("VERIFICATION FAILED: particles %d vs %d, KE %.6f vs %.6f\n",
+				res.Summary.Particles, ref.Particles, res.Summary.KE, ref.KE)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Stencil3d is the command-line driver for the stencil3d mini-app (paper
+// section V-A/V-B), mirroring the benchmark binary of the paper's
+// repository.
+//
+//	go run ./cmd/stencil3d -grid 64 -blocks 2,2,2 -iters 100 -pes 4
+//	go run ./cmd/stencil3d -impl mpi
+//	go run ./cmd/stencil3d -imbalance -lb greedy -lbperiod 30 -blocks 2,4,2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"charmgo/internal/core"
+	"charmgo/internal/lb"
+	"charmgo/internal/stencil"
+	"charmgo/internal/trace"
+)
+
+func main() {
+	grid := flag.Int("grid", 48, "global grid edge (grid^3 cells)")
+	blocks := flag.String("blocks", "2,2,2", "block counts per dimension bx,by,bz")
+	iters := flag.Int("iters", 100, "Jacobi iterations")
+	pes := flag.Int("pes", 4, "PEs (charm implementations)")
+	impl := flag.String("impl", "charm", "implementation: charm, charm-dynamic, mpi")
+	imbalance := flag.Bool("imbalance", false, "enable the paper's synthetic load imbalance")
+	lbName := flag.String("lb", "", "load balancer: greedy, refine, rotate, rand (charm only)")
+	lbPeriod := flag.Int("lbperiod", 30, "AtSync period in iterations")
+	serialize := flag.Bool("serialize", false, "serialize all cross-PE messages (process model)")
+	verify := flag.Bool("verify", true, "check the checksum against the sequential reference")
+	traceRun := flag.Bool("trace", false, "print a Projections-style trace summary (charm only)")
+	flag.Parse()
+
+	bx, by, bz, err := parseTriple(*blocks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p := stencil.Params{
+		GridX: *grid, GridY: *grid, GridZ: *grid,
+		BX: bx, BY: by, BZ: bz,
+		Iters:     *iters,
+		Imbalance: *imbalance,
+	}
+	var strategy core.LBStrategy
+	switch *lbName {
+	case "":
+	case "greedy":
+		strategy = lb.Greedy{}
+	case "refine":
+		strategy = lb.Refine{}
+	case "rotate":
+		strategy = lb.Rotate{}
+	case "rand":
+		strategy = lb.Random{Seed: 1}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown load balancer %q\n", *lbName)
+		os.Exit(2)
+	}
+	if strategy != nil {
+		p.LBPeriod = *lbPeriod
+	}
+
+	var tracer *trace.Tracer
+	if *traceRun {
+		tracer = trace.New(*pes)
+	}
+	var res stencil.Result
+	switch *impl {
+	case "charm":
+		res, err = stencil.RunCharm(p, core.Config{PEs: *pes, LB: strategy,
+			ForceSerialize: *serialize, Trace: tracer})
+	case "charm-dynamic":
+		res, err = stencil.RunCharm(p, core.Config{PEs: *pes, LB: strategy,
+			Dispatch: core.DynamicDispatch, ForceSerialize: *serialize, Trace: tracer})
+	case "mpi":
+		res, err = stencil.RunMPI(p)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown implementation %q\n", *impl)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d blocks on %d PEs, %d iterations\n", res.Impl, res.Blocks, res.PEs, p.Iters)
+	fmt.Printf("time per step: %.3f ms  (wall %.3f s)\n", res.TimePerStepMS, res.WallSeconds)
+	if *imbalance {
+		fmt.Printf("PE balance (max/avg work, final window): %.2f\n", res.MaxOverAvg)
+	}
+	if tracer != nil {
+		fmt.Println("\ntrace summary:")
+		tracer.Summarize().Fprint(os.Stdout)
+	}
+	if *verify {
+		want, err := stencil.RunSequential(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		diff := res.Checksum - want
+		if diff < 1e-6 && diff > -1e-6 {
+			fmt.Printf("checksum OK (%.6f)\n", res.Checksum)
+		} else {
+			fmt.Printf("CHECKSUM MISMATCH: got %.6f want %.6f\n", res.Checksum, want)
+			os.Exit(1)
+		}
+	}
+}
+
+func parseTriple(s string) (int, int, int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("expected bx,by,bz, got %q", s)
+	}
+	var v [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("bad block count %q", p)
+		}
+		v[i] = n
+	}
+	return v[0], v[1], v[2], nil
+}

@@ -1,0 +1,165 @@
+package charmgo_test
+
+// Runnable godoc examples for the public API (go doc renders these; go test
+// executes them and checks their output).
+
+import (
+	"fmt"
+	"sort"
+
+	"charmgo"
+)
+
+// Greeter is a minimal chare used by the examples.
+type Greeter struct {
+	charmgo.Chare
+	N int
+}
+
+// Hello records one greeting.
+func (g *Greeter) Hello() { g.N++ }
+
+// Count reports how many greetings arrived.
+func (g *Greeter) Count(done charmgo.Future) { done.Send(g.N) }
+
+// SumPE contributes the hosting PE id to a sum reduction.
+func (g *Greeter) SumPE(done charmgo.Future) {
+	g.Contribute(int(g.MyPE()), charmgo.SumReducer, done)
+}
+
+// Example demonstrates the minimal charmgo program: create a chare, invoke
+// it asynchronously, and synchronize with a future.
+func Example() {
+	charmgo.Run(charmgo.Config{PEs: 2},
+		func(rt *charmgo.Runtime) { rt.Register(&Greeter{}) },
+		func(self *charmgo.Chare) {
+			defer self.Exit()
+			g := self.NewChare(&Greeter{}, charmgo.AnyPE)
+			g.Call("Hello")
+			g.Call("Hello")
+			f := self.CreateFuture()
+			g.Call("Count", f)
+			fmt.Println("greetings:", f.Get())
+		})
+	// Output: greetings: 2
+}
+
+// ExampleProxy_Call shows broadcasts over a Group and a sum reduction whose
+// result lands in a future.
+func ExampleProxy_Call() {
+	charmgo.Run(charmgo.Config{PEs: 4},
+		func(rt *charmgo.Runtime) { rt.Register(&Greeter{}) },
+		func(self *charmgo.Chare) {
+			defer self.Exit()
+			group := self.NewGroup(&Greeter{}) // one member per PE
+			done := self.CreateFuture()
+			group.Call("SumPE", done) // broadcast; members reduce
+			fmt.Println("sum of PE ids:", done.Get())
+		})
+	// Output: sum of PE ids: 6
+}
+
+// Orderer receives ticks only in iteration order thanks to a when-condition.
+type Orderer struct {
+	charmgo.Chare
+	Iter int
+	Log  []int
+}
+
+// Tick is buffered by the runtime until self.iter == iter.
+func (o *Orderer) Tick(iter int) {
+	o.Log = append(o.Log, iter)
+	o.Iter++
+}
+
+// Dump reports the delivery order.
+func (o *Orderer) Dump(done charmgo.Future) { done.Send(fmt.Sprint(o.Log)) }
+
+// ExampleWhen shows CharmPy-style when-conditions: messages sent out of
+// order are delivered in order.
+func ExampleWhen() {
+	charmgo.Run(charmgo.Config{PEs: 2},
+		func(rt *charmgo.Runtime) {
+			rt.Register(&Orderer{},
+				charmgo.When("Tick", "self.iter == iter"),
+				charmgo.ArgNames("Tick", "iter"))
+		},
+		func(self *charmgo.Chare) {
+			defer self.Exit()
+			o := self.NewChare(&Orderer{}, charmgo.PE(1))
+			o.Call("Tick", 2) // early: buffered
+			o.Call("Tick", 0)
+			o.Call("Tick", 1)
+			f := self.CreateFuture()
+			o.Call("Dump", f)
+			fmt.Println("delivered:", f.Get())
+		})
+	// Output: delivered: [0 1 2]
+}
+
+// Sorter gathers contributions from array elements.
+type Sorter struct {
+	charmgo.Chare
+}
+
+// Give contributes this element's index squared to a gather.
+func (s *Sorter) Give(done charmgo.Future) {
+	s.Contribute(s.ThisIndex[0]*s.ThisIndex[0], charmgo.GatherReducer, done)
+}
+
+// ExampleChare_Contribute runs a gather reduction over a chare array.
+func ExampleChare_Contribute() {
+	charmgo.Run(charmgo.Config{PEs: 3},
+		func(rt *charmgo.Runtime) { rt.Register(&Sorter{}) },
+		func(self *charmgo.Chare) {
+			defer self.Exit()
+			arr := self.NewArray(&Sorter{}, []int{5})
+			done := self.CreateFuture()
+			arr.Call("Give", done)
+			vals := done.Get().([]any) // ordered by element index
+			out := make([]int, len(vals))
+			for i, v := range vals {
+				out[i] = v.(int)
+			}
+			sort.Ints(out)
+			fmt.Println("squares:", out)
+		})
+	// Output: squares: [0 1 4 9 16]
+}
+
+// Pinger demonstrates channels.
+type Pinger struct {
+	charmgo.Chare
+}
+
+// Talk exchanges two values over a channel with the peer.
+func (p *Pinger) Talk(peer charmgo.Proxy, first bool, done charmgo.Future) {
+	ch := charmgo.NewChannel(&p.Chare, peer)
+	if first {
+		ch.Send("ping")
+		done.Send(ch.Recv())
+	} else {
+		v := ch.Recv()
+		ch.Send("pong")
+		done.Send(v)
+	}
+}
+
+// ExampleNewChannel shows direct-style pairwise communication from threaded
+// entry methods.
+func ExampleNewChannel() {
+	charmgo.Run(charmgo.Config{PEs: 2},
+		func(rt *charmgo.Runtime) {
+			rt.Register(&Pinger{}, charmgo.Threaded("Talk"))
+		},
+		func(self *charmgo.Chare) {
+			defer self.Exit()
+			arr := self.NewArray(&Pinger{}, []int{2})
+			f0 := self.CreateFuture()
+			f1 := self.CreateFuture()
+			arr.At(0).Call("Talk", arr.At(1), true, f0)
+			arr.At(1).Call("Talk", arr.At(0), false, f1)
+			fmt.Println(f1.Get(), f0.Get())
+		})
+	// Output: ping pong
+}

@@ -1,0 +1,68 @@
+// Dataframe demonstrates the distributed dataframe (the paper's
+// future-work item of distributing pandas-style workflows, section VI):
+// rows are partitioned across chares, and filters, column maps, reductions
+// and group-bys run as chare messaging under a pandas-like driver API. Run
+// with:
+//
+//	go run ./examples/dataframe
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"charmgo"
+	"charmgo/internal/dframe"
+)
+
+func main() {
+	dframe.RegisterMapFunc("fahrenheit", func(c float64) float64 { return c*9/5 + 32 })
+
+	charmgo.Run(charmgo.Config{PEs: 4},
+		func(rt *charmgo.Runtime) { dframe.Register(rt) },
+		func(self *charmgo.Chare) {
+			defer self.Exit()
+
+			// synthesize a weather table: 10k readings across 5 stations
+			rng := rand.New(rand.NewSource(7))
+			const n = 10000
+			stations := []string{"ORD", "SFO", "JFK", "AUS", "SEA"}
+			station := make([]string, n)
+			tempC := make([]float64, n)
+			tempF := make([]float64, n)
+			for i := 0; i < n; i++ {
+				station[i] = stations[rng.Intn(len(stations))]
+				tempC[i] = -10 + 40*rng.Float64()
+			}
+
+			df := dframe.New(self, dframe.Schema{
+				{Name: "station", Kind: dframe.KString},
+				{Name: "temp_c", Kind: dframe.KFloat},
+				{Name: "temp_f", Kind: dframe.KFloat},
+			}, 16 /* partitions (chares) */)
+			df.Load(map[string][]float64{"temp_c": tempC, "temp_f": tempF},
+				map[string][]string{"station": station})
+
+			fmt.Printf("%d readings in %d distributed partitions\n", df.Count(), df.Parts)
+			lo, hi := df.MinMax("temp_c")
+			fmt.Printf("temp range: %.1fC .. %.1fC, mean %.2fC\n", lo, hi, df.Mean("temp_c"))
+
+			df.Map("temp_c", "temp_f", "fahrenheit")
+			fmt.Printf("mean in Fahrenheit: %.2fF\n", df.Mean("temp_f"))
+
+			warm := df.Filter("temp_c", ">", 25)
+			fmt.Printf("readings above 25C: %d\n", warm.Count())
+
+			byStation := warm.GroupBySum("station", "temp_c")
+			keys := make([]string, 0, len(byStation))
+			for k := range byStation {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Println("sum of warm temperatures by station:")
+			for _, k := range keys {
+				fmt.Printf("  %s %10.1f\n", k, byStation[k])
+			}
+		})
+}

@@ -1,0 +1,297 @@
+// Package bench builds the paper's evaluation figures (section V). Each
+// figure has two regeneration paths:
+//
+//   - Simulated: internal/simcluster reproduces the paper's core counts
+//     (1k-65k cores) with calibrated constants. This is the documented
+//     substitute for the Blue Waters / Cori testbeds (DESIGN.md).
+//   - Real: the actual runtime executes scaled-down versions on this host
+//     (exposed through bench_test.go and cmd/experiments -real).
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"charmgo/internal/core"
+	"charmgo/internal/lb"
+	"charmgo/internal/simcluster"
+)
+
+// Point is one measurement: time per step at a core count.
+type Point struct {
+	Cores int
+	MS    float64
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a regenerated paper figure.
+type Figure struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Series   []Series
+	Notes    []string
+}
+
+// Fig1 regenerates figure 1: stencil3d weak scaling on Blue Waters,
+// 1k-65k cores, Charm++ vs mpi4py vs CharmPy.
+func Fig1(cal simcluster.Calibration) Figure {
+	cores := []int{1024, 2048, 4096, 8192, 16384, 32768, 65536}
+	const iters = 5
+	block := [3]int{128, 128, 128} // fixed block per PE (weak scaling)
+	fig := Figure{
+		ID:       "fig1",
+		Title:    "stencil3d weak scaling (simulated Blue Waters)",
+		PaperRef: "Fig. 1: weak scaling to 65k cores; CharmPy within 6.2% of Charm++",
+	}
+	for _, im := range []simcluster.Impl{simcluster.ImplCharm, simcluster.ImplMPI, simcluster.ImplCharmPy} {
+		s := Series{Label: im.String()}
+		for _, c := range cores {
+			r := simcluster.RunStencil(simcluster.StencilConfig{
+				Machine:          cal.MachineFor(im, c),
+				BlocksPerPE:      1,
+				Block:            block,
+				Iters:            iters,
+				KernelSecPerCell: cal.KernelSecPerCell,
+			})
+			s.Points = append(s.Points, Point{Cores: c, MS: r.TimePerStepMS})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		"weak scaling: one 128^3 block per PE; flat profile expected",
+		gapNote(fig.Series))
+	return fig
+}
+
+// Fig2 regenerates figure 2: stencil3d strong scaling on 2 Cori KNL nodes,
+// 8-128 cores, log-scale y descending roughly linearly.
+func Fig2(cal simcluster.Calibration) Figure {
+	cores := []int{8, 16, 32, 64, 128}
+	const grid = 512 // 512^3 global grid
+	const iters = 10
+	fig := Figure{
+		ID:       "fig2",
+		Title:    "stencil3d strong scaling (simulated Cori KNL)",
+		PaperRef: "Fig. 2: 8-128 cores, ~1600 ms -> ~110 ms per step, all three similar",
+	}
+	for _, im := range []simcluster.Impl{simcluster.ImplCharm, simcluster.ImplMPI, simcluster.ImplCharmPy} {
+		s := Series{Label: im.String()}
+		for _, c := range cores {
+			dims := simcluster.BlockGridDims(c)
+			r := simcluster.RunStencil(simcluster.StencilConfig{
+				Machine:          cal.MachineFor(im, c),
+				BlocksPerPE:      1,
+				Block:            [3]int{grid / dims[0], grid / dims[1], grid / dims[2]},
+				Iters:            iters,
+				KernelSecPerCell: cal.KernelSecPerCell,
+			})
+			s.Points = append(s.Points, Point{Cores: c, MS: r.TimePerStepMS})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes, "strong scaling: fixed 512^3 grid split across PEs")
+	return fig
+}
+
+// Fig3 regenerates figure 3: stencil3d with synthetic imbalance, strong
+// scaling, with and without dynamic load balancing.
+func Fig3(cal simcluster.Calibration) Figure {
+	cores := []int{8, 16, 32, 64, 128}
+	const grid = 256
+	const iters = 300
+	fig := Figure{
+		ID:       "fig3",
+		Title:    "stencil3d with synthetic imbalance (simulated Cori KNL)",
+		PaperRef: "Fig. 3: LB improves time per step by 1.9x-2.27x",
+	}
+	type variant struct {
+		label string
+		im    simcluster.Impl
+		lbOn  bool
+	}
+	variants := []variant{
+		{"charm-static (no lb)", simcluster.ImplCharm, false},
+		{"charm-dynamic (no lb)", simcluster.ImplCharmPy, false},
+		{"mini-mpi", simcluster.ImplMPI, false},
+		{"charm-static (lb)", simcluster.ImplCharm, true},
+		{"charm-dynamic (lb)", simcluster.ImplCharmPy, true},
+	}
+	for _, v := range variants {
+		s := Series{Label: v.label}
+		for _, c := range cores {
+			blocksPerPE := 4
+			if v.im == simcluster.ImplMPI {
+				blocksPerPE = 1 // MPI cannot subdivide or migrate (paper V-B)
+			}
+			n := c * blocksPerPE
+			dims := simcluster.BlockGridDims(n)
+			cfg := simcluster.StencilConfig{
+				Machine:          cal.MachineFor(v.im, c),
+				BlocksPerPE:      blocksPerPE,
+				Block:            [3]int{max1(grid / dims[0]), max1(grid / dims[1]), max1(grid / dims[2])},
+				Iters:            iters,
+				KernelSecPerCell: cal.KernelSecPerCell,
+				Imbalance:        true,
+			}
+			if v.lbOn {
+				cfg.LBPeriod = 30
+				cfg.LB = lb.Greedy{}
+			}
+			r := simcluster.RunStencil(cfg)
+			s.Points = append(s.Points, Point{Cores: c, MS: r.TimePerStepMS})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	// speedup note: static lb vs static no-lb at each scale
+	var lo, hi float64
+	for i := range fig.Series[0].Points {
+		sp := fig.Series[0].Points[i].MS / fig.Series[3].Points[i].MS
+		if lo == 0 || sp < lo {
+			lo = sp
+		}
+		if sp > hi {
+			hi = sp
+		}
+	}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("LB speedup range: %.2fx-%.2fx (paper: 1.9x-2.27x)", lo, hi),
+		"alpha load model from paper section V-B; GreedyLB every 30 iterations")
+	return fig
+}
+
+// Fig4 regenerates figure 4: LeanMD strong scaling on Blue Waters with 8M
+// particles, CharmPy within 20% of Charm++.
+func Fig4(cal simcluster.Calibration) Figure {
+	cores := []int{2048, 4096, 8192, 16384}
+	fig := Figure{
+		ID:       "fig4",
+		Title:    "LeanMD strong scaling (simulated Blue Waters)",
+		PaperRef: "Fig. 4: 8M particles, 2048-16384 cores; CharmPy within 20% of Charm++",
+	}
+	for _, im := range []simcluster.Impl{simcluster.ImplCharmPy, simcluster.ImplCharm} {
+		s := Series{Label: im.String()}
+		for _, c := range cores {
+			r := simcluster.RunLeanMD(simcluster.LeanMDConfig{
+				Machine: cal.MachineFor(im, c),
+				// scaled from the paper's 8M particles (DESIGN.md): 13824
+				// cells x 60 = 830k particles keeps the event count tractable
+				Cells:            [3]int{24, 24, 24},
+				PerCell:          60,
+				Steps:            2,
+				PairCostSec:      cal.PairCostSec,
+				IntegrateCostSec: 10 * cal.PairCostSec,
+			})
+			s.Points = append(s.Points, Point{Cores: c, MS: r.TimePerStepMS})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		"fine-grained: hundreds of chares per PE at the low end",
+		gapNote([]Series{fig.Series[1], fig.Series[0]}))
+	return fig
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// gapNote reports the worst-case slowdown of the last series relative to
+// the first (the paper's CharmPy-vs-Charm++ overhead number).
+func gapNote(series []Series) string {
+	if len(series) < 2 {
+		return ""
+	}
+	ref, cmp := series[0], series[len(series)-1]
+	worst := 0.0
+	for i := range ref.Points {
+		gap := (cmp.Points[i].MS - ref.Points[i].MS) / ref.Points[i].MS * 100
+		if gap > worst {
+			worst = gap
+		}
+	}
+	return fmt.Sprintf("worst-case %s overhead vs %s: %.1f%%", cmp.Label, ref.Label, worst)
+}
+
+// AblationLB compares load-balancing strategies (DESIGN.md ablation A4) on
+// the paper's imbalanced stencil at simulated scale.
+func AblationLB(cal simcluster.Calibration) Figure {
+	cores := []int{16, 32, 64, 128}
+	fig := Figure{
+		ID:       "ablation-a4",
+		Title:    "LB strategy comparison, imbalanced stencil (simulated)",
+		PaperRef: "design ablation: which strategy earns the paper's fig-3 speedup",
+	}
+	strategies := []struct {
+		label string
+		s     core.LBStrategy
+	}{
+		{"none", nil},
+		{"greedy", lb.Greedy{}},
+		{"refine", lb.Refine{}},
+		{"rotate", lb.Rotate{}},
+		{"random", lb.Random{Seed: 1}},
+	}
+	for _, st := range strategies {
+		s := Series{Label: st.label}
+		for _, c := range cores {
+			n := c * 4
+			dims := simcluster.BlockGridDims(n)
+			cfg := simcluster.StencilConfig{
+				Machine:          cal.MachineFor(simcluster.ImplCharm, c),
+				BlocksPerPE:      4,
+				Block:            [3]int{max1(256 / dims[0]), max1(256 / dims[1]), max1(256 / dims[2])},
+				Iters:            300,
+				KernelSecPerCell: cal.KernelSecPerCell,
+				Imbalance:        true,
+			}
+			if st.s != nil {
+				cfg.LBPeriod = 30
+				cfg.LB = st.s
+			}
+			r := simcluster.RunStencil(cfg)
+			s.Points = append(s.Points, Point{Cores: c, MS: r.TimePerStepMS})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		"greedy/refine should both beat none; rotate/random churn without balancing")
+	return fig
+}
+
+// All regenerates every figure.
+func All(cal simcluster.Calibration) []Figure {
+	return []Figure{Fig1(cal), Fig2(cal), Fig3(cal), Fig4(cal)}
+}
+
+// Print writes a figure as an aligned text table.
+func Print(w io.Writer, f Figure) {
+	fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "paper: %s\n", f.PaperRef)
+	fmt.Fprintf(w, "%-10s", "cores")
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "%24s", s.Label)
+	}
+	fmt.Fprintln(w)
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(w, "%-10d", f.Series[0].Points[i].Cores)
+		for _, s := range f.Series {
+			fmt.Fprintf(w, "%21.2fms", s.Points[i].MS)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range f.Notes {
+		if n != "" {
+			fmt.Fprintf(w, "  note: %s\n", n)
+		}
+	}
+	fmt.Fprintln(w)
+}

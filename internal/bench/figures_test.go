@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"charmgo/internal/simcluster"
+)
+
+func TestFig2SeriesShape(t *testing.T) {
+	fig := Fig2(simcluster.Default())
+	if len(fig.Series) != 3 {
+		t.Fatalf("fig2 has %d series", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 5 {
+			t.Fatalf("series %s has %d points", s.Label, len(s.Points))
+		}
+		// strong scaling: time per step strictly decreases with cores
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].MS >= s.Points[i-1].MS {
+				t.Errorf("series %s not decreasing at %d cores: %.3f -> %.3f",
+					s.Label, s.Points[i].Cores, s.Points[i-1].MS, s.Points[i].MS)
+			}
+		}
+	}
+}
+
+func TestFig3LBWins(t *testing.T) {
+	fig := Fig3(simcluster.Default())
+	if len(fig.Series) != 5 {
+		t.Fatalf("fig3 has %d series", len(fig.Series))
+	}
+	noLB, withLB := fig.Series[0], fig.Series[3]
+	for i := range noLB.Points {
+		speedup := noLB.Points[i].MS / withLB.Points[i].MS
+		if speedup < 1.5 {
+			t.Errorf("at %d cores LB speedup %.2fx < 1.5x", noLB.Points[i].Cores, speedup)
+		}
+	}
+}
+
+func TestPrintFormatsTable(t *testing.T) {
+	fig := Figure{
+		ID: "figX", Title: "test", PaperRef: "none",
+		Series: []Series{
+			{Label: "a", Points: []Point{{Cores: 8, MS: 1.5}, {Cores: 16, MS: 0.75}}},
+			{Label: "b", Points: []Point{{Cores: 8, MS: 2.0}, {Cores: 16, MS: 1.0}}},
+		},
+		Notes: []string{"a note"},
+	}
+	var buf bytes.Buffer
+	Print(&buf, fig)
+	out := buf.String()
+	for _, want := range []string{"figX", "cores", "a", "b", "1.50ms", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}

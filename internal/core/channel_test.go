@@ -1,0 +1,168 @@
+package core
+
+import "testing"
+
+// ChanWorker exercises the charm4py-style Channel API.
+type ChanWorker struct {
+	Chare
+	Partner Proxy
+	Done    Future
+}
+
+// PingPong bounces values over a channel with its partner in direct style.
+func (w *ChanWorker) PingPong(partner Proxy, rounds int, initiator bool, done Future) {
+	ch := NewChannel(&w.Chare, partner)
+	sum := 0
+	for r := 0; r < rounds; r++ {
+		if initiator {
+			ch.Send(r * 10)
+			sum += ch.Recv().(int)
+		} else {
+			v := ch.Recv().(int)
+			sum += v
+			ch.Send(v + 1)
+		}
+	}
+	done.Send(sum)
+}
+
+// Burst sends many values before the peer ever receives (buffering +
+// ordering test), tagging with a port to separate streams.
+func (w *ChanWorker) Burst(partner Proxy, n int) {
+	ch := NewChannel(&w.Chare, partner, 1)
+	for i := 0; i < n; i++ {
+		ch.Send(i)
+	}
+}
+
+// Drain receives n values in order.
+func (w *ChanWorker) Drain(partner Proxy, n int, done Future) {
+	ch := NewChannel(&w.Chare, partner, 1)
+	for i := 0; i < n; i++ {
+		if got := ch.Recv().(int); got != i {
+			done.Send(-got - 1)
+			return
+		}
+	}
+	done.Send(n)
+}
+
+// RingPass passes a token around a ring of channel endpoints.
+func (w *ChanWorker) RingPass(left, right Proxy, start bool, done Future) {
+	in := NewChannel(&w.Chare, left, 2)
+	out := NewChannel(&w.Chare, right, 2)
+	if start {
+		out.Send(1)
+		v := in.Recv().(int)
+		done.Send(v)
+		return
+	}
+	v := in.Recv().(int)
+	out.Send(v + 1)
+	done.Send(v)
+}
+
+func registerChanWorker(rt *Runtime) {
+	rt.Register(&ChanWorker{},
+		Threaded("PingPong", "Drain", "RingPass"))
+}
+
+func TestChannelPingPong(t *testing.T) {
+	runJob(t, Config{PEs: 2}, registerChanWorker, func(self *Chare) {
+		arr := self.NewArray(&ChanWorker{}, []int{2})
+		f0 := self.CreateFuture()
+		f1 := self.CreateFuture()
+		const rounds = 20
+		arr.At(0).Call("PingPong", arr.At(1), rounds, true, f0)
+		arr.At(1).Call("PingPong", arr.At(0), rounds, false, f1)
+		// initiator receives v+1 for each v=r*10; responder receives r*10
+		wantResp, wantInit := 0, 0
+		for r := 0; r < rounds; r++ {
+			wantResp += r * 10
+			wantInit += r*10 + 1
+		}
+		if got := f0.Get(); got != wantInit {
+			t.Errorf("initiator sum = %v, want %d", got, wantInit)
+		}
+		if got := f1.Get(); got != wantResp {
+			t.Errorf("responder sum = %v, want %d", got, wantResp)
+		}
+	})
+}
+
+func TestChannelBufferingAndOrder(t *testing.T) {
+	runJob(t, Config{PEs: 3}, registerChanWorker, func(self *Chare) {
+		arr := self.NewArray(&ChanWorker{}, []int{2})
+		const n = 50
+		arr.At(0).Call("Burst", arr.At(1), n)
+		f := self.CreateFuture()
+		arr.At(1).Call("Drain", arr.At(0), n, f)
+		if got := f.Get(); got != n {
+			t.Errorf("drain result %v, want %d (negative = out of order)", got, n)
+		}
+	})
+}
+
+func TestChannelRing(t *testing.T) {
+	const members = 5
+	runJob(t, Config{PEs: 3}, registerChanWorker, func(self *Chare) {
+		arr := self.NewArray(&ChanWorker{}, []int{members})
+		futs := make([]Future, members)
+		for i := 0; i < members; i++ {
+			futs[i] = self.CreateFuture()
+			left := arr.At((i + members - 1) % members)
+			right := arr.At((i + 1) % members)
+			arr.At(i).Call("RingPass", left, right, i == 0, futs[i])
+		}
+		// member 0 sends 1; each hop increments; member 0 receives members
+		if got := futs[0].Get(); got != members {
+			t.Errorf("token back at start = %v, want %d", got, members)
+		}
+		for i := 1; i < members; i++ {
+			if got := futs[i].Get(); got != i {
+				t.Errorf("member %d saw %v, want %d", i, got, i)
+			}
+		}
+	})
+}
+
+func TestChannelCrossNode(t *testing.T) {
+	runMultiNode(t, 2, 1, nil, registerChanWorker, func(self *Chare) {
+		arr := self.NewArray(&ChanWorker{}, []int{2})
+		f0 := self.CreateFuture()
+		f1 := self.CreateFuture()
+		arr.At(0).Call("PingPong", arr.At(1), 5, true, f0)
+		arr.At(1).Call("PingPong", arr.At(0), 5, false, f1)
+		if got := f0.Get(); got != 0+1+11+21+31+41-0 { // sum of r*10+1
+			t.Errorf("cross-node initiator sum = %v", got)
+		}
+		f1.Get()
+	})
+}
+
+func TestChannelRecvOutsideThreadPanics(t *testing.T) {
+	runJob(t, Config{PEs: 1}, func(rt *Runtime) {
+		rt.Register(&ChanProbe{})
+	}, func(self *Chare) {
+		p := self.NewChare(&ChanProbe{}, PE(0))
+		f := self.CreateFuture()
+		p.Call("TryRecv", p, f)
+		if got := f.Get(); got != "panicked" {
+			t.Errorf("non-threaded Recv: %v", got)
+		}
+	})
+}
+
+type ChanProbe struct{ Chare }
+
+func (c *ChanProbe) TryRecv(peer Proxy, report Future) {
+	defer func() {
+		if recover() != nil {
+			report.Send("panicked")
+		} else {
+			report.Send("no panic")
+		}
+	}()
+	ch := NewChannel(&c.Chare, peer)
+	ch.Recv()
+}

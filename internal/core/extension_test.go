@@ -1,0 +1,223 @@
+package core
+
+// Tests for the paper's future-work features (section VI) implemented as
+// extensions: quiescence detection and checkpoint/restart (fault tolerance
+// plus shrink-expand).
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// RingNode passes a token around a ring a fixed number of times and then
+// goes silent, so quiescence has something to wait for.
+type RingNode struct {
+	Chare
+	Hops int
+	Seen int
+}
+
+func (r *RingNode) Pass(remaining int) {
+	r.Seen++
+	if remaining == 0 {
+		return
+	}
+	n := (int(r.MyPE()) + 1) % r.NumPEs()
+	r.ThisProxy().At(n).Call("Pass", remaining-1)
+}
+
+func (r *RingNode) Count(done Future) { done.Send(r.Seen) }
+
+func TestQuiescenceAfterRing(t *testing.T) {
+	runJob(t, Config{PEs: 4}, func(rt *Runtime) {
+		rt.Register(&RingNode{})
+	}, func(self *Chare) {
+		g := self.NewGroup(&RingNode{})
+		g.At(0).Call("Pass", 25) // 26 hops around 4 PEs, then silence
+		self.WaitQD()
+		// after quiescence, all hops must have happened
+		total := 0
+		for pe := 0; pe < 4; pe++ {
+			f := self.CreateFuture()
+			g.At(pe).Call("Count", f)
+			total += f.Get().(int)
+		}
+		if total != 26 {
+			t.Errorf("after QD: %d hops seen, want 26", total)
+		}
+	})
+}
+
+func TestQuiescenceImmediate(t *testing.T) {
+	// with nothing in flight, QD should fire promptly
+	runJob(t, Config{PEs: 2}, nil, func(self *Chare) {
+		start := time.Now()
+		self.WaitQD()
+		if time.Since(start) > 5*time.Second {
+			t.Error("idle quiescence took too long")
+		}
+	})
+}
+
+func TestQuiescenceMultiNode(t *testing.T) {
+	runMultiNode(t, 2, 2, nil, func(rt *Runtime) {
+		rt.Register(&RingNode{})
+	}, func(self *Chare) {
+		g := self.NewGroup(&RingNode{})
+		g.At(0).Call("Pass", 17)
+		self.WaitQD()
+		total := 0
+		for pe := 0; pe < 4; pe++ {
+			f := self.CreateFuture()
+			g.At(pe).Call("Count", f)
+			total += f.Get().(int)
+		}
+		if total != 18 {
+			t.Errorf("after QD: %d hops, want 18", total)
+		}
+	})
+}
+
+// CkptWorker carries state through a checkpoint.
+type CkptWorker struct {
+	Chare
+	Value   int
+	History []float64
+}
+
+func (w *CkptWorker) Bump(by int) {
+	w.Value += by
+	w.History = append(w.History, float64(w.Value))
+}
+
+func (w *CkptWorker) Report(done Future) {
+	w.Contribute(w.Value, SumReducer, done)
+}
+
+func (w *CkptWorker) HistLen(done Future) {
+	w.Contribute(len(w.History), SumReducer, done)
+}
+
+func TestCheckpointRestart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.ckpt")
+
+	var arrCID CID
+	// Phase 1: run, mutate state, checkpoint, exit.
+	runJob(t, Config{PEs: 4}, func(rt *Runtime) {
+		rt.Register(&CkptWorker{})
+	}, func(self *Chare) {
+		arr := self.NewArray(&CkptWorker{}, []int{8})
+		arrCID = arr.CID
+		for i := 0; i < 8; i++ {
+			arr.At(i).Call("Bump", i*10)
+			arr.At(i).Call("Bump", 1)
+		}
+		self.WaitQD()
+		if err := self.Checkpoint(path); err != nil {
+			t.Errorf("checkpoint: %v", err)
+		}
+	})
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint file: %v", err)
+	}
+
+	// Phase 2: restore on a DIFFERENT PE count (shrink-expand) and verify
+	// every chare's state survived.
+	rt2 := NewRuntime(Config{PEs: 2})
+	rt2.Register(&CkptWorker{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		err := Restart(rt2, path, func(self *Chare, colls map[CID]Proxy) {
+			defer self.Exit()
+			arr, ok := colls[arrCID]
+			if !ok {
+				t.Errorf("restored collections missing array %d: %v", arrCID, colls)
+				return
+			}
+			f := self.CreateFuture()
+			arr.Call("Report", f)
+			want := 0
+			for i := 0; i < 8; i++ {
+				want += i*10 + 1
+			}
+			if got := f.Get(); got != want {
+				t.Errorf("restored sum = %v, want %d", got, want)
+			}
+			// slices restored too
+			h := self.CreateFuture()
+			arr.Call("HistLen", h)
+			if got := h.Get(); got != 16 {
+				t.Errorf("restored history length = %v, want 16", got)
+			}
+			// restored chares remain fully functional
+			arr.At(3).Call("Bump", 1000)
+			f2 := self.CreateFuture()
+			arr.Call("Report", f2)
+			if got := f2.Get(); got != want+1000 {
+				t.Errorf("post-restore bump sum = %v, want %d", got, want+1000)
+			}
+		})
+		if err != nil {
+			t.Errorf("restart: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("restart did not complete")
+	}
+}
+
+func TestCheckpointRestartExpand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.ckpt")
+	var cid CID
+	runJob(t, Config{PEs: 1}, func(rt *Runtime) {
+		rt.Register(&CkptWorker{})
+	}, func(self *Chare) {
+		arr := self.NewArray(&CkptWorker{}, []int{6})
+		cid = arr.CID
+		arr.Call("Bump", 7)
+		self.WaitQD()
+		if err := self.Checkpoint(path); err != nil {
+			t.Errorf("checkpoint: %v", err)
+		}
+	})
+
+	// expand 1 PE -> 3 PEs
+	rt2 := NewRuntime(Config{PEs: 3})
+	rt2.Register(&CkptWorker{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		err := Restart(rt2, path, func(self *Chare, colls map[CID]Proxy) {
+			defer self.Exit()
+			f := self.CreateFuture()
+			colls[cid].Call("Report", f)
+			if got := f.Get(); got != 42 {
+				t.Errorf("expanded-restore sum = %v, want 42", got)
+			}
+		})
+		if err != nil {
+			t.Errorf("restart: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("expand restart did not complete")
+	}
+}
+
+func TestRestartMissingFile(t *testing.T) {
+	rt := NewRuntime(Config{PEs: 1})
+	if err := Restart(rt, "/nonexistent/nope.ckpt", func(self *Chare, colls map[CID]Proxy) {
+		self.Exit()
+	}); err == nil {
+		t.Error("Restart with missing file succeeded")
+	}
+}

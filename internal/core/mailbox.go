@@ -1,0 +1,89 @@
+package core
+
+import "sync"
+
+// mailbox is an unbounded MPSC queue feeding a PE scheduler. Senders never
+// block (Charm++ message sends are asynchronous), which also rules out the
+// send-while-full deadlocks a bounded channel would allow between PEs that
+// post to each other.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// push enqueues m. It reports whether the mailbox was still open.
+func (mb *mailbox) push(m *Message) bool {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return false
+	}
+	mb.q = append(mb.q, m)
+	mb.mu.Unlock()
+	mb.cond.Signal()
+	return true
+}
+
+// pushFront enqueues m at the head (used for high-priority control traffic).
+func (mb *mailbox) pushFront(m *Message) bool {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return false
+	}
+	mb.q = append([]*Message{m}, mb.q...)
+	mb.mu.Unlock()
+	mb.cond.Signal()
+	return true
+}
+
+// pop dequeues the next message, blocking until one is available or the
+// mailbox is closed (in which case ok is false).
+func (mb *mailbox) pop() (m *Message, ok bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.q) == 0 && !mb.closed {
+		mb.cond.Wait()
+	}
+	if len(mb.q) == 0 {
+		return nil, false
+	}
+	m = mb.q[0]
+	mb.q = mb.q[1:]
+	return m, true
+}
+
+// tryPop dequeues without blocking.
+func (mb *mailbox) tryPop() (m *Message, ok bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if len(mb.q) == 0 {
+		return nil, false
+	}
+	m = mb.q[0]
+	mb.q = mb.q[1:]
+	return m, true
+}
+
+// len returns the current queue length.
+func (mb *mailbox) len() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.q)
+}
+
+// close wakes any blocked pop and makes future pushes fail.
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}

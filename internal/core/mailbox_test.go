@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	mb := newMailbox()
+	for i := 0; i < 100; i++ {
+		if !mb.push(&Message{MID: int32(i)}) {
+			t.Fatal("push failed")
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m, ok := mb.pop()
+		if !ok || m.MID != int32(i) {
+			t.Fatalf("pop %d: got %v ok=%v", i, m, ok)
+		}
+	}
+}
+
+func TestMailboxPushFront(t *testing.T) {
+	mb := newMailbox()
+	mb.push(&Message{MID: 1})
+	mb.pushFront(&Message{MID: 0})
+	m, _ := mb.pop()
+	if m.MID != 0 {
+		t.Errorf("pushFront not first: %d", m.MID)
+	}
+}
+
+func TestMailboxCloseUnblocksPop(t *testing.T) {
+	mb := newMailbox()
+	done := make(chan bool)
+	go func() {
+		_, ok := mb.pop()
+		done <- ok
+	}()
+	mb.close()
+	if ok := <-done; ok {
+		t.Error("pop on closed mailbox returned ok")
+	}
+	if mb.push(&Message{}) {
+		t.Error("push after close succeeded")
+	}
+}
+
+func TestMailboxTryPop(t *testing.T) {
+	mb := newMailbox()
+	if _, ok := mb.tryPop(); ok {
+		t.Error("tryPop on empty returned ok")
+	}
+	mb.push(&Message{MID: 5})
+	if m, ok := mb.tryPop(); !ok || m.MID != 5 {
+		t.Errorf("tryPop = %v, %v", m, ok)
+	}
+	if mb.len() != 0 {
+		t.Errorf("len = %d", mb.len())
+	}
+}
+
+func TestMailboxConcurrentProducers(t *testing.T) {
+	mb := newMailbox()
+	const producers, each = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				mb.push(&Message{MID: int32(p)})
+			}
+		}(p)
+	}
+	counts := map[int32]int{}
+	for i := 0; i < producers*each; i++ {
+		m, ok := mb.pop()
+		if !ok {
+			t.Fatal("pop failed")
+		}
+		counts[m.MID]++
+	}
+	wg.Wait()
+	for p := int32(0); p < producers; p++ {
+		if counts[p] != each {
+			t.Errorf("producer %d delivered %d of %d", p, counts[p], each)
+		}
+	}
+}

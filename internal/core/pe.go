@@ -1,0 +1,848 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"charmgo/internal/expr"
+	"charmgo/internal/ser"
+)
+
+// peState is one processing element: a scheduler goroutine, its mailbox, and
+// the chares it currently hosts. All fields except the mailbox are owned by
+// the scheduler (or by the single entry-method thread currently holding the
+// PE token), so no further locking is needed.
+type peState struct {
+	rt   *Runtime
+	pe   PE
+	mbox *mailbox
+
+	colls       map[CID]*localColl
+	pendingColl map[CID][]*Message // messages for collections not yet created here
+
+	futures map[int64]*futState
+	futSeq  int64
+	cidSeq  int32
+
+	tomb    map[CID]map[string]PE // forwarding pointers for emigrated elements
+	homeLoc map[CID]map[string]PE // authoritative locations for elements homed here
+
+	yieldCh   chan thYield
+	curThread *emThread
+	suspended map[*emThread]bool
+
+	lbRoot map[CID]*lbRootState
+
+	exiting bool
+}
+
+// localColl is one PE's slice of a chare collection.
+type localColl struct {
+	cm          *createMsg
+	ct          *chareType
+	elems       map[string]*element
+	total       int // global element count; -1 for sparse pre-DoneInserting
+	localRed    map[int64]*localRedSlot
+	rootRed     map[int64]*rootRedSlot
+	pendingElem map[string][]*Message // sparse: messages before insertion
+	insCount    int                   // local insert count (sparse)
+	lbStatsSent bool
+}
+
+// element is one chare instance hosted on this PE.
+type element struct {
+	obj         reflect.Value // pointer to the user struct
+	iface       any
+	fast        FastDispatcher
+	base        *Chare
+	idx         []int
+	key         string
+	cid         CID
+	coll        *localColl
+	buf         []*Message // when-buffered messages
+	waiters     []*waiter
+	chans       map[string]*chanStream // channel receive streams
+	redNo       int64
+	load        time.Duration
+	atSync      bool
+	migrateTo   PE
+	lbMove      bool
+	liveThreads int
+	inRecheck   bool
+	dead        bool
+}
+
+type waiter struct {
+	e  *expr.Expr
+	th *emThread
+}
+
+// emThread is a threaded entry method execution (paper section II-H1).
+type emThread struct {
+	resume   chan struct{}
+	el       *element
+	segStart time.Time
+}
+
+type thYield struct {
+	th       *emThread
+	done     bool
+	panicVal any
+}
+
+func newPEState(rt *Runtime, pe PE) *peState {
+	return &peState{
+		rt:          rt,
+		pe:          pe,
+		mbox:        newMailbox(),
+		colls:       map[CID]*localColl{},
+		pendingColl: map[CID][]*Message{},
+		futures:     map[int64]*futState{},
+		tomb:        map[CID]map[string]PE{},
+		homeLoc:     map[CID]map[string]PE{},
+		yieldCh:     make(chan thYield),
+		suspended:   map[*emThread]bool{},
+		lbRoot:      map[CID]*lbRootState{},
+	}
+}
+
+// loop is the PE scheduler: Charm++-style message-driven execution, one
+// entry method at a time.
+func (p *peState) loop() {
+	for !p.exiting {
+		m, ok := p.mbox.pop()
+		if !ok {
+			break
+		}
+		p.rt.qdCountRecv(m.Kind)
+		p.handle(m)
+	}
+	// Terminate suspended threads cleanly (their resume channels are closed;
+	// they call runtime.Goexit).
+	for th := range p.suspended {
+		close(th.resume)
+	}
+}
+
+func (p *peState) handle(m *Message) {
+	switch m.Kind {
+	case mExit:
+		p.exiting = true
+		p.mbox.close()
+	case mStartMain:
+		p.startMain()
+	case mCreate:
+		p.createColl(m.Ctl.(*createMsg))
+	case mInvoke:
+		p.routeInvoke(m)
+	case mInsert:
+		p.insertElem(m.Ctl.(*insertMsg))
+	case mDoneInserting:
+		p.handleDoneInserting(m.Ctl.(*doneInsertingMsg))
+	case mFutureSet:
+		fs := m.Ctl.(*futSetMsg)
+		p.futureSet(fs.Ref, fs.Val)
+	case mRedPartial:
+		p.redRootRecv(m)
+	case mMigrate:
+		p.migrateIn(m.Ctl.(*migrateMsg))
+	case mLocUpdate:
+		lu := m.Ctl.(*locUpdateMsg)
+		p.setHomeLoc(lu.CID, idxKey(lu.Idx), lu.At)
+		p.rt.cacheLoc(lu.CID, idxKey(lu.Idx), lu.At)
+	case mLBStats:
+		p.lbRootStats(m)
+	case mLBMoves:
+		p.lbApplyMoves(m.Ctl.(*lbMovesMsg))
+	case mLBAck:
+		p.lbRootAck(m.CID)
+	case mLBResume:
+		p.lbResume(m.Ctl.(*lbResumeMsg).CID)
+	case mQDStart:
+		p.qdStart(m.Ctl.(*qdStartMsg).Target)
+	case mQDProbe:
+		p.qdOnProbe(m.Ctl.(*qdProbeMsg))
+	case mQDReply:
+		p.qdOnReply(m.Ctl.(*qdReplyMsg))
+	case mCkptCollect:
+		p.ckptCollect(m.Ctl.(*ckptCollectMsg))
+	case mPing:
+		p.rt.sendFutureSet(m.Fut, nil)
+	case mChanMsg:
+		if el, done := p.routeElem(m); !done {
+			cm := m.Ctl.(*chanMsg)
+			if needsRebind(cm.Val) {
+				cm.Val = rebindPure(cm.Val, p.rt, p, 0)
+			}
+			p.chanDeliver(el, cm)
+		}
+	default:
+		panic(fmt.Sprintf("core: PE %d: unknown message kind %d", p.pe, m.Kind))
+	}
+}
+
+// mainCID is the reserved collection id of the main chare.
+const mainCID CID = 0
+
+func (p *peState) startMain() {
+	cm := &createMsg{CID: mainCID, Kind: ckSingle, Type: "mainChare", OnPE: 0, Creator: 0}
+	p.rt.bcastAllPEs(&Message{Kind: mCreate, Src: p.pe, Ctl: cm})
+	p.rt.send(p.pe, &Message{Kind: mInvoke, CID: mainCID, Idx: []int{0}, MID: -1, Method: "Run", Src: p.pe})
+}
+
+// ---- collection creation ----
+
+func (p *peState) createColl(cm *createMsg) {
+	if _, exists := p.colls[cm.CID]; exists {
+		return // idempotent (self-broadcast)
+	}
+	rt := p.rt
+	rt.mu.Lock()
+	ct := rt.types[cm.Type]
+	rt.mu.Unlock()
+	if ct == nil {
+		panic(fmt.Sprintf("core: create of unregistered chare type %q", cm.Type))
+	}
+	rt.putCollMeta(cm)
+	coll := &localColl{
+		cm:          cm,
+		ct:          ct,
+		elems:       map[string]*element{},
+		localRed:    map[int64]*localRedSlot{},
+		rootRed:     map[int64]*rootRedSlot{},
+		pendingElem: map[string][]*Message{},
+	}
+	switch cm.Kind {
+	case ckSingle:
+		coll.total = 1
+		if !cm.NoInit && rt.initialPE(cm, []int{0}) == p.pe {
+			p.newElement(coll, cm.CID, []int{0}, cm.Args)
+		}
+	case ckGroup:
+		coll.total = rt.totalPEs
+		p.colls[cm.CID] = coll // install before ctor so ctor can message it
+		if !cm.NoInit {
+			p.newElement(coll, cm.CID, []int{int(p.pe)}, cm.Args)
+		}
+	case ckArray:
+		coll.total = numElems(cm.Dims)
+		p.colls[cm.CID] = coll
+		if !cm.NoInit {
+			n := coll.total
+			for pos := 0; pos < n; pos++ {
+				idx := delinearize(pos, cm.Dims)
+				if rt.initialPE(cm, idx) == p.pe {
+					p.newElement(coll, cm.CID, idx, cm.Args)
+				}
+			}
+		}
+	case ckSparse:
+		coll.total = -1
+	}
+	p.colls[cm.CID] = coll
+	// Replay messages that arrived before creation.
+	if pend := p.pendingColl[cm.CID]; len(pend) > 0 {
+		delete(p.pendingColl, cm.CID)
+		for _, m := range pend {
+			p.handle(m)
+		}
+	}
+}
+
+// newElement instantiates a chare and runs its constructor (the Init entry
+// method, if defined) with args.
+func (p *peState) newElement(coll *localColl, cid CID, idx []int, args []any) *element {
+	objv := reflect.New(coll.ct.rtype)
+	el := &element{
+		obj:       objv,
+		iface:     objv.Interface(),
+		idx:       append([]int(nil), idx...),
+		key:       idxKey(idx),
+		cid:       cid,
+		coll:      coll,
+		migrateTo: -1,
+	}
+	if coll.ct.fast {
+		el.fast = el.iface.(FastDispatcher)
+	}
+	base := el.iface.(Chareable).chareBase()
+	base.ThisIndex = el.idx
+	base.ec = &elemCtx{p: p, el: el, coll: coll}
+	el.base = base
+	coll.elems[el.key] = el
+	if info, ok := coll.ct.byName["Init"]; ok {
+		p.invokeEMInner(el, info, &Message{Kind: mInvoke, CID: cid, Idx: idx, MID: info.id, Method: "Init", Args: args, Src: p.pe})
+		p.recheck(el)
+	}
+	return el
+}
+
+func (p *peState) insertElem(im *insertMsg) {
+	coll := p.colls[im.CID]
+	if coll == nil {
+		p.pendingColl[im.CID] = append(p.pendingColl[im.CID], &Message{Kind: mInsert, CID: im.CID, Ctl: im})
+		return
+	}
+	key := idxKey(im.Idx)
+	if _, dup := coll.elems[key]; dup {
+		panic(fmt.Sprintf("core: duplicate insert of element %v in collection %d", im.Idx, im.CID))
+	}
+	el := p.newElement(coll, im.CID, im.Idx, im.Args)
+	coll.insCount++
+	// If this element was inserted away from its home, tell the home.
+	home := p.rt.homePE(im.CID, key)
+	if home != p.pe {
+		p.rt.send(home, &Message{Kind: mLocUpdate, Src: p.pe, Ctl: &locUpdateMsg{CID: im.CID, Idx: im.Idx, At: p.pe}})
+	} else {
+		p.setHomeLoc(im.CID, key, p.pe)
+	}
+	if pend := coll.pendingElem[key]; len(pend) > 0 {
+		delete(coll.pendingElem, key)
+		for _, m := range pend {
+			p.deliverOrBuffer(coll, el, m)
+		}
+	}
+}
+
+func (p *peState) handleDoneInserting(dm *doneInsertingMsg) {
+	coll := p.colls[dm.CID]
+	switch {
+	case dm.Total > 0: // phase 3: final total broadcast
+		if coll == nil {
+			p.pendingColl[dm.CID] = append(p.pendingColl[dm.CID], &Message{Kind: mDoneInserting, CID: dm.CID, Ctl: dm})
+			return
+		}
+		coll.total = dm.Total
+		// Reductions that were waiting for the element count may now finish.
+		seqs := make([]int64, 0, len(coll.rootRed))
+		for seq := range coll.rootRed {
+			seqs = append(seqs, seq)
+		}
+		for _, seq := range seqs {
+			if slot := coll.rootRed[seq]; slot != nil {
+				p.redCheckComplete(coll, seq, slot)
+			}
+		}
+	case dm.Count >= 0: // phase 2: per-PE count arriving at root
+		st := p.lbRootFor(dm.CID)
+		st.insGot++
+		st.insSum += dm.Count
+		if st.insGot == p.rt.totalPEs {
+			st.insGot = 0
+			total := st.insSum
+			st.insSum = 0
+			p.rt.bcastAllPEs(&Message{Kind: mDoneInserting, CID: dm.CID, Src: p.pe,
+				Ctl: &doneInsertingMsg{CID: dm.CID, Total: total}})
+		}
+	default: // phase 1: count request broadcast
+		n := 0
+		if coll != nil {
+			n = len(coll.elems)
+		}
+		p.rt.send(rootPE(p.rt, dm.CID), &Message{Kind: mDoneInserting, CID: dm.CID, Src: p.pe,
+			Ctl: &doneInsertingMsg{CID: dm.CID, Count: n, Total: 0}})
+	}
+}
+
+// rootPE is the deterministic root for a collection's reductions, LB
+// coordination and sparse-count protocol.
+func rootPE(rt *Runtime, cid CID) PE {
+	return PE(idxHash([]int{int(cid)}) % uint64(rt.totalPEs))
+}
+
+// ---- invoke routing and location management ----
+
+func (p *peState) routeInvoke(m *Message) {
+	coll := p.colls[m.CID]
+	if coll == nil {
+		p.pendingColl[m.CID] = append(p.pendingColl[m.CID], m)
+		return
+	}
+	if m.Idx == nil { // broadcast: deliver to every local element
+		for _, el := range coll.elems {
+			cp := *m
+			p.deliverOrBuffer(coll, el, &cp)
+		}
+		return
+	}
+	key := idxKey(m.Idx)
+	if el := coll.elems[key]; el != nil && !el.dead {
+		p.deliverOrBuffer(coll, el, m)
+		return
+	}
+	p.forward(coll, m, key)
+}
+
+// routeElem locates the destination element of a non-broadcast message,
+// buffering or forwarding it when it is not here. done reports that the
+// message was consumed (buffered/forwarded) and el is nil in that case.
+func (p *peState) routeElem(m *Message) (el *element, done bool) {
+	coll := p.colls[m.CID]
+	if coll == nil {
+		p.pendingColl[m.CID] = append(p.pendingColl[m.CID], m)
+		return nil, true
+	}
+	key := idxKey(m.Idx)
+	if el := coll.elems[key]; el != nil && !el.dead {
+		return el, false
+	}
+	p.forward(coll, m, key)
+	return nil, true
+}
+
+// forward implements home-based location management with forwarding
+// tombstones (DESIGN.md S5).
+func (p *peState) forward(coll *localColl, m *Message, key string) {
+	m.hops++
+	if m.hops > 120 {
+		panic(fmt.Sprintf("core: message forwarding loop for %s (cid %d idx %v)", m.Method, m.CID, m.Idx))
+	}
+	if to, ok := p.tomb[m.CID][key]; ok {
+		if m.Src >= 0 && m.hops == 1 {
+			p.rt.cacheLoc(m.CID, key, to)
+		}
+		p.rt.send(to, m)
+		return
+	}
+	home := p.rt.homePE(m.CID, key)
+	if home == p.pe {
+		if loc, ok := p.homeLoc[m.CID][key]; ok && loc != p.pe {
+			p.rt.send(loc, m)
+			return
+		}
+		init := p.rt.initialPE(coll.cm, m.Idx)
+		if init != p.pe {
+			if _, tracked := p.homeLoc[m.CID][key]; !tracked {
+				p.rt.send(init, m)
+				return
+			}
+		}
+		// The element should be here but is not: sparse pre-insertion (or a
+		// migration still in flight). Buffer until it arrives.
+		coll.pendingElem[key] = append(coll.pendingElem[key], m)
+		return
+	}
+	if c, ok := p.rt.cachedLoc(m.CID, key); ok && c != p.pe {
+		p.rt.send(c, m)
+		return
+	}
+	if init := p.rt.initialPE(coll.cm, m.Idx); init != p.pe {
+		p.rt.send(init, m)
+		return
+	}
+	p.rt.send(home, m)
+}
+
+func (p *peState) setHomeLoc(cid CID, key string, at PE) {
+	m := p.homeLoc[cid]
+	if m == nil {
+		m = map[string]PE{}
+		p.homeLoc[cid] = m
+	}
+	m[key] = at
+	// A migration may have raced messages into our pending buffer.
+	if coll := p.colls[cid]; coll != nil && at != p.pe {
+		if pend := coll.pendingElem[key]; len(pend) > 0 {
+			delete(coll.pendingElem, key)
+			for _, msg := range pend {
+				p.rt.send(at, msg)
+			}
+		}
+	}
+}
+
+// ---- entry-method delivery ----
+
+func (p *peState) deliverOrBuffer(coll *localColl, el *element, m *Message) {
+	info := p.resolveEM(coll, m)
+	if !p.emReady(el, info, m) {
+		el.buf = append(el.buf, m)
+		return
+	}
+	p.invokeEMInner(el, info, m)
+	p.recheck(el)
+}
+
+func (p *peState) resolveEM(coll *localColl, m *Message) *emInfo {
+	if m.MID >= 0 {
+		if int(m.MID) >= len(coll.ct.methods) {
+			panic(fmt.Sprintf("core: bad method id %d for type %s", m.MID, coll.ct.name))
+		}
+		return coll.ct.methods[m.MID]
+	}
+	info := coll.ct.byName[m.Method]
+	if info == nil {
+		panic(fmt.Sprintf("core: chare type %s has no entry method %q", coll.ct.name, m.Method))
+	}
+	return info
+}
+
+// emReady evaluates a when-condition (paper section II-E).
+func (p *peState) emReady(el *element, info *emInfo, m *Message) bool {
+	if info.when == nil {
+		return true
+	}
+	env := emEnv{self: el.iface, args: m.Args, names: info.argNames}
+	ok, err := info.when.EvalBool(env)
+	if err != nil {
+		panic(fmt.Sprintf("core: when-condition %q on %s.%s: %v", info.when.Src(), el.coll.ct.name, info.name, err))
+	}
+	return ok
+}
+
+type emEnv struct {
+	self  any
+	args  []any
+	names []string
+}
+
+func (e emEnv) Lookup(name string) (any, bool) {
+	if name == "self" {
+		return e.self, true
+	}
+	for i, n := range e.names {
+		if n == name && i < len(e.args) {
+			return e.args[i], true
+		}
+	}
+	if len(name) > 3 && name[:3] == "arg" {
+		k := 0
+		for _, c := range name[3:] {
+			if c < '0' || c > '9' {
+				return nil, false
+			}
+			k = k*10 + int(c-'0')
+		}
+		if k < len(e.args) {
+			return e.args[k], true
+		}
+	}
+	return nil, false
+}
+
+// invokeEMInner executes one entry method (inline or threaded) without
+// triggering the post-execution recheck; callers run recheck afterwards.
+func (p *peState) invokeEMInner(el *element, info *emInfo, m *Message) {
+	args := p.rebindArgs(el, m.Args)
+	if info.threaded {
+		p.runThreaded(el, info, m, args)
+		return
+	}
+	atomic.AddInt64(&p.rt.qd.running, 1)
+	start := time.Now()
+	ret := p.callEM(el, info, args)
+	dur := time.Since(start)
+	el.load += dur
+	atomic.AddInt64(&p.rt.qd.running, -1)
+	if tr := p.rt.cfg.Trace; tr != nil {
+		tr.EM(int(p.pe-p.rt.basePE), el.coll.ct.name, info.name, tr.Since()-dur, dur)
+	}
+	if m.Fut.valid() {
+		p.rt.sendFutureSet(m.Fut, ret)
+	}
+}
+
+// callEM performs the actual call. In StaticDispatch mode it goes through a
+// FastDispatcher or the precomputed method table; in DynamicDispatch mode it
+// performs a per-call reflective name lookup with permissive argument
+// coercion, modelling interpreted dispatch (DESIGN.md).
+func (p *peState) callEM(el *element, info *emInfo, args []any) any {
+	if p.rt.cfg.Dispatch == StaticDispatch {
+		if el.fast != nil {
+			el.fast.DispatchEM(int(info.id), args)
+			return nil
+		}
+		in := make([]reflect.Value, 1+len(info.argTypes))
+		in[0] = el.obj
+		for i, t := range info.argTypes {
+			var a any
+			if i < len(args) {
+				a = args[i]
+			}
+			in[i+1] = coerceArg(a, t, false)
+		}
+		out := info.fn.Call(in)
+		if len(out) > 0 {
+			return out[0].Interface()
+		}
+		return nil
+	}
+	// Dynamic dispatch: name lookup per invocation.
+	mv := el.obj.MethodByName(info.name)
+	if !mv.IsValid() {
+		panic(fmt.Sprintf("core: %s has no method %s", el.coll.ct.name, info.name))
+	}
+	mt := mv.Type()
+	in := make([]reflect.Value, mt.NumIn())
+	for i := 0; i < mt.NumIn(); i++ {
+		var a any
+		if i < len(args) {
+			a = args[i]
+		}
+		in[i] = coerceArg(a, mt.In(i), true)
+	}
+	out := mv.Call(in)
+	if len(out) > 0 {
+		return out[0].Interface()
+	}
+	return nil
+}
+
+// coerceArg converts a received argument to the parameter type. Dynamic mode
+// allows numeric conversions (Python-style duck typing); static mode
+// requires assignability.
+func coerceArg(a any, t reflect.Type, dynamic bool) reflect.Value {
+	if a == nil {
+		return reflect.Zero(t)
+	}
+	v := reflect.ValueOf(a)
+	if v.Type() == t || v.Type().AssignableTo(t) {
+		return v
+	}
+	if dynamic && v.Type().ConvertibleTo(t) {
+		return v.Convert(t)
+	}
+	if t.Kind() == reflect.Interface && v.Type().Implements(t) {
+		return v
+	}
+	if !dynamic && v.Type().ConvertibleTo(t) {
+		switch t.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+			reflect.Float32, reflect.Float64:
+			return v.Convert(t)
+		}
+	}
+	panic(fmt.Sprintf("core: cannot pass argument of type %T as %s", a, t))
+}
+
+// ---- threaded entry methods (paper section II-H) ----
+
+func (p *peState) runThreaded(el *element, info *emInfo, m *Message, args []any) {
+	th := &emThread{resume: make(chan struct{}), el: el}
+	el.liveThreads++
+	p.curThread = th
+	atomic.AddInt64(&p.rt.qd.running, 1)
+	th.segStart = time.Now()
+	go func() {
+		var pv any
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					pv = r
+				}
+			}()
+			ret := p.callEM(el, info, args)
+			if m.Fut.valid() {
+				p.rt.sendFutureSet(m.Fut, ret)
+			}
+		}()
+		p.yieldCh <- thYield{th: th, done: true, panicVal: pv}
+	}()
+	p.waitYield()
+}
+
+// waitYield blocks until the running thread suspends or finishes.
+func (p *peState) waitYield() {
+	y := <-p.yieldCh
+	el := y.th.el
+	seg := time.Since(y.th.segStart)
+	el.load += seg
+	p.curThread = nil
+	atomic.AddInt64(&p.rt.qd.running, -1)
+	if tr := p.rt.cfg.Trace; tr != nil {
+		// threaded entry methods are traced as run segments
+		tr.EM(int(p.pe-p.rt.basePE), el.coll.ct.name, "(threaded)", tr.Since()-seg, seg)
+	}
+	if y.done {
+		el.liveThreads--
+		if y.panicVal != nil {
+			panic(y.panicVal)
+		}
+		// The chare's state may have changed: re-evaluate buffered messages
+		// and wait conditions.
+		p.recheck(el)
+	} else {
+		p.suspended[y.th] = true
+	}
+}
+
+// suspendCur yields the PE token back to the scheduler and parks the calling
+// thread until resumed. Must be called from the currently running thread.
+func (p *peState) suspendCur() {
+	th := p.curThread
+	if th == nil {
+		panic("core: blocking operation (future get / wait) requires a threaded entry method")
+	}
+	p.yieldCh <- thYield{th: th, done: false}
+	if _, ok := <-th.resume; !ok {
+		runtime.Goexit() // runtime shut down while suspended
+	}
+}
+
+// resumeThread hands the PE token to a suspended thread and waits for its
+// next yield.
+func (p *peState) resumeThread(th *emThread) {
+	delete(p.suspended, th)
+	p.curThread = th
+	atomic.AddInt64(&p.rt.qd.running, 1)
+	th.segStart = time.Now()
+	th.resume <- struct{}{}
+	p.waitYield()
+}
+
+// ---- post-execution recheck: when-buffers, wait-conditions, migration ----
+
+// recheck re-evaluates buffered messages and wait conditions of el until a
+// fixpoint, then performs any requested migration. It runs after every entry
+// method completes on el (the points at which the chare's state can change).
+func (p *peState) recheck(el *element) {
+	if el.inRecheck {
+		return // re-entered from a nested completion; the outer loop rescans
+	}
+	el.inRecheck = true
+	for !el.dead {
+		progressed := false
+		for i, w := range el.waiters {
+			ok, err := w.e.EvalBool(emEnv{self: el.iface})
+			if err != nil {
+				panic(fmt.Sprintf("core: wait-condition %q: %v", w.e.Src(), err))
+			}
+			if ok {
+				el.waiters = append(el.waiters[:i], el.waiters[i+1:]...)
+				p.resumeThread(w.th)
+				progressed = true
+				break
+			}
+		}
+		if progressed {
+			continue
+		}
+		for i, m := range el.buf {
+			info := p.resolveEM(el.coll, m)
+			if p.emReady(el, info, m) {
+				el.buf = append(el.buf[:i], el.buf[i+1:]...)
+				p.invokeEMInner(el, info, m)
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	el.inRecheck = false
+	if !el.dead && el.migrateTo >= 0 && el.liveThreads == 0 {
+		p.migrateOut(el)
+	}
+	if !el.dead && el.atSync {
+		p.lbMaybeSendStats(el.coll)
+	}
+}
+
+// ---- migration (paper section II-I) ----
+
+func (p *peState) migrateOut(el *element) {
+	to := el.migrateTo
+	el.migrateTo = -1
+	if to == p.pe {
+		return
+	}
+	blob, err := ser.EncodeValue(el.iface)
+	if err != nil {
+		panic(fmt.Sprintf("core: cannot serialize chare %s[%v] for migration: %v", el.coll.ct.name, el.idx, err))
+	}
+	mm := &migrateMsg{
+		CID:   el.cid,
+		Idx:   el.idx,
+		Blob:  blob,
+		RedNo: el.redNo,
+		Load:  el.load.Seconds(),
+	}
+	if el.lbMove {
+		mm.ASeq = 1 // LB-ordered move: receiver acknowledges to the root
+		el.lbMove = false
+	}
+	delete(el.coll.elems, el.key)
+	el.dead = true
+	tm := p.tomb[el.cid]
+	if tm == nil {
+		tm = map[string]PE{}
+		p.tomb[el.cid] = tm
+	}
+	tm[el.key] = to
+	p.rt.send(to, &Message{Kind: mMigrate, CID: el.cid, Src: p.pe, Ctl: mm})
+	// Forward buffered messages to the new location.
+	for _, m := range el.buf {
+		p.rt.send(to, m)
+	}
+	el.buf = nil
+	if p.pe == p.rt.homePE(el.cid, el.key) {
+		p.setHomeLoc(el.cid, el.key, to)
+	}
+}
+
+// Migrated may be implemented by chares to be notified after arriving on a
+// new PE (CharmPy's migrated() hook).
+type Migrated interface {
+	Migrated()
+}
+
+func (p *peState) migrateIn(mm *migrateMsg) {
+	coll := p.colls[mm.CID]
+	if coll == nil {
+		p.pendingColl[mm.CID] = append(p.pendingColl[mm.CID], &Message{Kind: mMigrate, CID: mm.CID, Ctl: mm})
+		return
+	}
+	v, err := ser.DecodeValue(mm.Blob)
+	if err != nil {
+		panic(fmt.Sprintf("core: cannot deserialize migrated chare: %v", err))
+	}
+	objv := reflect.ValueOf(v)
+	el := &element{
+		obj:       objv,
+		iface:     v,
+		idx:       append([]int(nil), mm.Idx...),
+		key:       idxKey(mm.Idx),
+		cid:       mm.CID,
+		coll:      coll,
+		redNo:     mm.RedNo,
+		load:      time.Duration(mm.Load * float64(time.Second)),
+		migrateTo: -1,
+	}
+	if coll.ct.fast {
+		el.fast = v.(FastDispatcher)
+	}
+	base := v.(Chareable).chareBase()
+	base.ThisIndex = el.idx
+	base.ec = &elemCtx{p: p, el: el, coll: coll}
+	el.base = base
+	p.rebindState(el)
+	// We are no longer a stale forwarding target if it boomeranged back.
+	delete(p.tomb[mm.CID], el.key)
+	coll.elems[el.key] = el
+	home := p.rt.homePE(mm.CID, el.key)
+	if home != p.pe {
+		p.rt.send(home, &Message{Kind: mLocUpdate, Src: p.pe, Ctl: &locUpdateMsg{CID: mm.CID, Idx: mm.Idx, At: p.pe}})
+	} else {
+		p.setHomeLoc(mm.CID, el.key, p.pe)
+	}
+	p.rt.cacheLoc(mm.CID, el.key, p.pe)
+	if hook, ok := v.(Migrated); ok {
+		hook.Migrated()
+	}
+	// Deliver messages that were buffered at the home for this element.
+	if pend := coll.pendingElem[el.key]; len(pend) > 0 {
+		delete(coll.pendingElem, el.key)
+		for _, m := range pend {
+			p.deliverOrBuffer(coll, el, m)
+		}
+	}
+	// If this migration was ordered by the LB manager, acknowledge it.
+	if mm.ASeq > 0 {
+		p.rt.send(rootPE(p.rt, mm.CID), &Message{Kind: mLBAck, CID: mm.CID, Src: p.pe})
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import "sync/atomic"
+
+// Quiescence detection: the system is quiescent when no application
+// messages are in flight and no entry method is executing. Charm++ provides
+// this (CkStartQD); CharmPy exposes it as charm.waitQD(). The classic
+// double-snapshot algorithm is used:
+//
+//   - every node counts application messages sent and received (atomics),
+//   - a coordinator (PE 0) repeatedly polls all nodes,
+//   - quiescence is declared when two consecutive snapshots are identical
+//     and sent == received.
+//
+// Control traffic (probes, replies, exit, ...) is not counted.
+
+type qdState struct {
+	sent    int64 // node-level atomic counters
+	recv    int64
+	running int64 // entry methods currently executing (not suspended)
+
+	// coordinator state (PE 0 only)
+	waiters  []Target
+	probing  bool
+	round    int64
+	gotNodes int
+	sumSent  int64
+	sumRecv  int64
+	prevSent int64
+	prevRecv int64
+	havePrev bool
+	anyBusy  bool
+}
+
+type qdProbeMsg struct{ Round int64 }
+
+type qdReplyMsg struct {
+	Round int64
+	Sent  int64
+	Recv  int64
+	Busy  bool // an entry method was executing on this node at reply time
+}
+
+// countableKind reports whether a message kind counts as application
+// traffic for quiescence purposes.
+func countableKind(k msgKind) bool {
+	switch k {
+	case mInvoke, mFutureSet, mRedPartial, mInsert, mMigrate, mDoneInserting, mChanMsg:
+		return true
+	}
+	return false
+}
+
+func (rt *Runtime) qdCountSend(k msgKind) {
+	if countableKind(k) {
+		atomic.AddInt64(&rt.qd.sent, 1)
+	}
+}
+
+func (rt *Runtime) qdCountRecv(k msgKind) {
+	if countableKind(k) {
+		atomic.AddInt64(&rt.qd.recv, 1)
+	}
+}
+
+// StartQD arranges for target (a Target or Future) to be notified once the
+// system reaches quiescence (paper/Charm++: CkStartQD). Safe to call from
+// any chare.
+func (c *Chare) StartQD(target any) {
+	var tgt Target
+	switch t := target.(type) {
+	case Target:
+		tgt = t
+	case Future:
+		tgt = Target{Fut: t.Ref, IsFut: true}
+	case *Future:
+		tgt = Target{Fut: t.Ref, IsFut: true}
+	default:
+		panic("core: StartQD target must be a Target or Future")
+	}
+	ec := c.ctx()
+	ec.p.rt.send(0, &Message{Kind: mQDStart, Src: ec.p.pe, Ctl: &qdStartMsg{Target: tgt}})
+}
+
+// WaitQD blocks the calling threaded entry method until the system is
+// quiescent (paper/CharmPy: charm.waitQD()).
+func (c *Chare) WaitQD() {
+	f := c.CreateFuture()
+	c.StartQD(f)
+	f.Get()
+}
+
+type qdStartMsg struct{ Target Target }
+
+// coordinator side (runs on PE 0's scheduler)
+
+func (p *peState) qdStart(t Target) {
+	qd := &p.rt.qd
+	qd.waiters = append(qd.waiters, t)
+	if !qd.probing {
+		qd.probing = true
+		qd.havePrev = false
+		p.qdProbe()
+	}
+}
+
+func (p *peState) qdProbe() {
+	qd := &p.rt.qd
+	qd.round++
+	qd.gotNodes = 0
+	qd.sumSent = 0
+	qd.sumRecv = 0
+	m := &Message{Kind: mQDProbe, Src: p.pe, Ctl: &qdProbeMsg{Round: qd.round}}
+	// one probe per node, handled by the node's first PE
+	for n := 0; n < p.rt.numNodes; n++ {
+		p.rt.send(PE(n*p.rt.cfg.PEs), m)
+	}
+}
+
+// qdOnProbe runs on each node's first PE: reply with the node's counters.
+// The probed PE itself is idle (it is handling the probe), but another PE
+// of the node may be mid-entry-method; Busy reports that.
+func (p *peState) qdOnProbe(pm *qdProbeMsg) {
+	reply := &qdReplyMsg{
+		Round: pm.Round,
+		Sent:  atomic.LoadInt64(&p.rt.qd.sent),
+		Recv:  atomic.LoadInt64(&p.rt.qd.recv),
+		Busy:  atomic.LoadInt64(&p.rt.qd.running) > 0, // probe handling is not an EM
+	}
+	p.rt.send(0, &Message{Kind: mQDReply, Src: p.pe, Ctl: reply})
+}
+
+func (p *peState) qdOnReply(rm *qdReplyMsg) {
+	qd := &p.rt.qd
+	if rm.Round != qd.round {
+		return // stale
+	}
+	qd.gotNodes++
+	qd.sumSent += rm.Sent
+	qd.sumRecv += rm.Recv
+	if rm.Busy {
+		qd.anyBusy = true
+	}
+	if qd.gotNodes < p.rt.numNodes {
+		return
+	}
+	quiet := !qd.anyBusy && qd.sumSent == qd.sumRecv &&
+		qd.havePrev && qd.sumSent == qd.prevSent && qd.sumRecv == qd.prevRecv
+	qd.anyBusy = false
+	// The coordinator PE itself is idle while handling this message, but
+	// other PEs may be mid-entry-method with messages not yet sent; the
+	// double snapshot catches that: any activity changes the counters
+	// between rounds.
+	qd.prevSent = qd.sumSent
+	qd.prevRecv = qd.sumRecv
+	qd.havePrev = true
+	if !quiet {
+		p.qdProbe()
+		return
+	}
+	qd.probing = false
+	qd.havePrev = false
+	waiters := qd.waiters
+	qd.waiters = nil
+	for _, t := range waiters {
+		p.deliverRedResult(t, nil)
+	}
+}

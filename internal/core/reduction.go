@@ -1,0 +1,400 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Reductions (paper sections II-F and IV-D): each element contributes once
+// per reduction; contributions are combined locally on each PE, per-PE
+// partials are combined at a deterministic root PE, and the root delivers
+// the result to the target (an entry method or a future). Reductions are
+// asynchronous and sequence-numbered, so multiple reductions over the same
+// collection can be in flight.
+//
+// Charm++ uses topology-aware spanning trees; at the PE counts this runtime
+// executes directly we use a two-level combine (local PE stage, then root
+// stage), which has the same per-PE message count. The simulated-cluster
+// harness models log-depth trees for large-scale projections (DESIGN.md).
+
+type localRedSlot struct {
+	count      int
+	reducer    string
+	target     Target
+	hasTarget  bool
+	partial    any
+	hasPartial bool
+	list       []redElt
+}
+
+type rootRedSlot struct {
+	count      int
+	reducer    string
+	target     Target
+	hasTarget  bool
+	partial    any
+	hasPartial bool
+	list       []redElt
+}
+
+var builtinReducers = map[string]bool{
+	"sum": true, "product": true, "max": true, "min": true,
+	"gather": true, "logical_and": true, "logical_or": true,
+}
+
+func isListReducer(rt *Runtime, name string) bool {
+	if name == "gather" {
+		return true
+	}
+	if name == "" || builtinReducers[name] {
+		return false
+	}
+	return true // custom reducer
+}
+
+// contribute records one element's contribution (Chare.Contribute).
+func (p *peState) contribute(el *element, data any, reducer Reducer, target Target) {
+	coll := el.coll
+	el.redNo++
+	seq := el.redNo
+	slot := coll.localRed[seq]
+	if slot == nil {
+		slot = &localRedSlot{reducer: reducer.Name}
+		coll.localRed[seq] = slot
+	}
+	if slot.reducer != reducer.Name {
+		panic(fmt.Sprintf("core: mismatched reducers in reduction %d of collection %d: %q vs %q",
+			seq, el.cid, slot.reducer, reducer.Name))
+	}
+	if slot.hasTarget {
+		if !sameTarget(slot.target, target) {
+			panic(fmt.Sprintf("core: mismatched targets in reduction %d of collection %d", seq, el.cid))
+		}
+	} else {
+		slot.target = target
+		slot.hasTarget = true
+	}
+	slot.count++
+	switch {
+	case reducer.Name == "":
+		// empty reduction: count only
+	case isListReducer(p.rt, reducer.Name):
+		slot.list = append(slot.list, redElt{Key: el.key, Data: data})
+	default:
+		if !slot.hasPartial {
+			slot.partial = data
+			slot.hasPartial = true
+		} else {
+			slot.partial = combineBuiltin(reducer.Name, slot.partial, data)
+		}
+	}
+	// Dense collections and groups combine locally and send one partial per
+	// PE. Sparse collections flush every contribution immediately: elements
+	// may still be being inserted (membership is not stable until
+	// DoneInserting), so a local count-based batch could stall forever.
+	if coll.cm.Kind == ckSparse || slot.count == len(coll.elems) {
+		delete(coll.localRed, seq)
+		p.flushLocalRed(coll, seq, slot)
+	}
+}
+
+func sameTarget(a, b Target) bool {
+	return a.CID == b.CID && a.Method == b.Method && a.IsFut == b.IsFut &&
+		a.Fut == b.Fut && idxEqual(a.Idx, b.Idx)
+}
+
+func (p *peState) flushLocalRed(coll *localColl, seq int64, slot *localRedSlot) {
+	// Apply custom reducers to the local batch before sending the partial.
+	rm := &redPartialMsg{
+		CID: collCID(coll), Seq: seq, Count: slot.count,
+		Reducer: slot.reducer, Target: slot.target,
+	}
+	switch {
+	case slot.reducer == "":
+	case slot.reducer == "gather":
+		rm.List = slot.list
+	case isListReducer(p.rt, slot.reducer):
+		fn := p.rt.reducerFunc(slot.reducer)
+		vals := make([]any, len(slot.list))
+		for i, e := range slot.list {
+			vals[i] = e.Data
+		}
+		rm.Data = fn(vals)
+	default:
+		rm.Data = slot.partial
+	}
+	root := rootPE(p.rt, collCID(coll))
+	p.rt.send(root, &Message{Kind: mRedPartial, CID: collCID(coll), Src: p.pe, Ctl: rm})
+}
+
+func collCID(coll *localColl) CID { return coll.cm.CID }
+
+func (rt *Runtime) reducerFunc(name string) ReducerFunc {
+	rt.mu.Lock()
+	fn := rt.reducers[name]
+	rt.mu.Unlock()
+	if fn == nil {
+		panic(fmt.Sprintf("core: reducer %q not registered on node %d", name, rt.nodeID))
+	}
+	return fn
+}
+
+// redRootRecv runs on the root PE when a per-PE partial arrives.
+func (p *peState) redRootRecv(m *Message) {
+	coll := p.colls[m.CID]
+	if coll == nil {
+		p.pendingColl[m.CID] = append(p.pendingColl[m.CID], m)
+		return
+	}
+	rm := m.Ctl.(*redPartialMsg)
+	slot := coll.rootRed[rm.Seq]
+	if slot == nil {
+		slot = &rootRedSlot{reducer: rm.Reducer}
+		coll.rootRed[rm.Seq] = slot
+	}
+	if slot.reducer != rm.Reducer {
+		panic(fmt.Sprintf("core: mismatched reducers at reduction root (%q vs %q)", slot.reducer, rm.Reducer))
+	}
+	if !slot.hasTarget {
+		slot.target = rm.Target
+		slot.hasTarget = true
+	}
+	slot.count += rm.Count
+	switch {
+	case rm.Reducer == "":
+	case rm.Reducer == "gather":
+		slot.list = append(slot.list, rm.List...)
+	case isListReducer(p.rt, rm.Reducer):
+		slot.list = append(slot.list, redElt{Data: rm.Data})
+	default:
+		if !slot.hasPartial {
+			slot.partial = rm.Data
+			slot.hasPartial = true
+		} else {
+			slot.partial = combineBuiltin(rm.Reducer, slot.partial, rm.Data)
+		}
+	}
+	p.redCheckComplete(coll, rm.Seq, slot)
+}
+
+func (p *peState) redCheckComplete(coll *localColl, seq int64, slot *rootRedSlot) {
+	if coll.total < 0 || slot.count < coll.total {
+		return // sparse array pre-DoneInserting, or contributions outstanding
+	}
+	if slot.count > coll.total {
+		panic(fmt.Sprintf("core: reduction %d of collection %d received %d contributions for %d elements",
+			seq, collCID(coll), slot.count, coll.total))
+	}
+	delete(coll.rootRed, seq)
+	var result any
+	switch {
+	case slot.reducer == "":
+		result = nil
+	case slot.reducer == "gather":
+		sort.Slice(slot.list, func(i, j int) bool {
+			return idxLess(keyIdx(slot.list[i].Key), keyIdx(slot.list[j].Key))
+		})
+		vals := make([]any, len(slot.list))
+		for i, e := range slot.list {
+			vals[i] = e.Data
+		}
+		result = vals
+	case isListReducer(p.rt, slot.reducer):
+		fn := p.rt.reducerFunc(slot.reducer)
+		vals := make([]any, len(slot.list))
+		for i, e := range slot.list {
+			vals[i] = e.Data
+		}
+		result = fn(vals)
+	default:
+		result = slot.partial
+	}
+	p.deliverRedResult(slot.target, result)
+}
+
+func (p *peState) deliverRedResult(t Target, result any) {
+	if t.IsFut {
+		p.rt.sendFutureSet(t.Fut, result)
+		return
+	}
+	m := &Message{
+		Kind: mInvoke, CID: t.CID, Idx: t.Idx, MID: -1, Method: t.Method,
+		Src: p.pe, Args: []any{result},
+	}
+	if t.Idx == nil {
+		p.rt.bcastAllPEs(m)
+		return
+	}
+	p.rt.send(p.rt.homePEOrInitial(t.CID, t.Idx), m)
+}
+
+// homePEOrInitial picks a routing destination for an element using available
+// metadata (initial placement) or its home.
+func (rt *Runtime) homePEOrInitial(cid CID, idx []int) PE {
+	key := idxKey(idx)
+	if pe, ok := rt.cachedLoc(cid, key); ok {
+		return pe
+	}
+	if meta := rt.collMeta(cid); meta != nil {
+		return rt.initialPE(meta, idx)
+	}
+	return rt.homePE(cid, key)
+}
+
+func idxLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// ---- built-in reducer combination ----
+
+func combineBuiltin(name string, a, b any) any {
+	switch name {
+	case "sum":
+		return numericOp(a, b, opSum)
+	case "product":
+		return numericOp(a, b, opProd)
+	case "max":
+		return numericOp(a, b, opMax)
+	case "min":
+		return numericOp(a, b, opMin)
+	case "logical_and":
+		return truthyOf(a) && truthyOf(b)
+	case "logical_or":
+		return truthyOf(a) || truthyOf(b)
+	}
+	panic(fmt.Sprintf("core: unknown built-in reducer %q", name))
+}
+
+func truthyOf(v any) bool {
+	switch x := v.(type) {
+	case bool:
+		return x
+	case int:
+		return x != 0
+	case int64:
+		return x != 0
+	case float64:
+		return x != 0
+	case nil:
+		return false
+	}
+	return true
+}
+
+type scalarOp int
+
+const (
+	opSum scalarOp = iota
+	opProd
+	opMax
+	opMin
+)
+
+func numericOp(a, b any, op scalarOp) any {
+	switch x := a.(type) {
+	case int:
+		return int(intOp(int64(x), toI64(b), op))
+	case int64:
+		return intOp(x, toI64(b), op)
+	case float64:
+		return floatOp(x, toF64(b), op)
+	case []float64:
+		y, ok := b.([]float64)
+		if !ok || len(x) != len(y) {
+			panic(fmt.Sprintf("core: reduction shape mismatch: %T(%d) vs %T", a, len(x), b))
+		}
+		out := make([]float64, len(x))
+		for i := range x {
+			out[i] = floatOp(x[i], y[i], op)
+		}
+		return out
+	case []int64:
+		y, ok := b.([]int64)
+		if !ok || len(x) != len(y) {
+			panic(fmt.Sprintf("core: reduction shape mismatch: %T vs %T", a, b))
+		}
+		out := make([]int64, len(x))
+		for i := range x {
+			out[i] = intOp(x[i], y[i], op)
+		}
+		return out
+	case []int:
+		y, ok := b.([]int)
+		if !ok || len(x) != len(y) {
+			panic(fmt.Sprintf("core: reduction shape mismatch: %T vs %T", a, b))
+		}
+		out := make([]int, len(x))
+		for i := range x {
+			out[i] = int(intOp(int64(x[i]), int64(y[i]), op))
+		}
+		return out
+	}
+	panic(fmt.Sprintf("core: unsupported reduction data type %T", a))
+}
+
+func toI64(v any) int64 {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case int64:
+		return x
+	case float64:
+		return int64(x)
+	}
+	panic(fmt.Sprintf("core: reduction type mismatch: expected integer, got %T", v))
+}
+
+func toF64(v any) float64 {
+	switch x := v.(type) {
+	case int:
+		return float64(x)
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	}
+	panic(fmt.Sprintf("core: reduction type mismatch: expected float, got %T", v))
+}
+
+func intOp(a, b int64, op scalarOp) int64 {
+	switch op {
+	case opSum:
+		return a + b
+	case opProd:
+		return a * b
+	case opMax:
+		if a > b {
+			return a
+		}
+		return b
+	default:
+		if a < b {
+			return a
+		}
+		return b
+	}
+}
+
+func floatOp(a, b float64, op scalarOp) float64 {
+	switch op {
+	case opSum:
+		return a + b
+	case opProd:
+		return a * b
+	case opMax:
+		if a > b {
+			return a
+		}
+		return b
+	default:
+		if a < b {
+			return a
+		}
+		return b
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"charmgo/internal/expr"
+	"charmgo/internal/ser"
+)
+
+// DispatchMode selects how entry methods are located and invoked. It is the
+// repo's model of the paper's CharmPy-vs-Charm++ comparison (see DESIGN.md):
+// Static models compiled C++ dispatch, Dynamic models interpreted Python
+// dispatch.
+type DispatchMode uint8
+
+const (
+	// StaticDispatch resolves entry methods to table indices at send time and
+	// invokes them through a precomputed dispatch table (or the chare's
+	// FastDispatcher if implemented). Models Charm++.
+	StaticDispatch DispatchMode = iota
+	// DynamicDispatch ships method names and resolves them per invocation via
+	// reflection with permissive argument coercion. Models CharmPy/Python.
+	DynamicDispatch
+)
+
+// FastDispatcher may be implemented by a chare type to bypass reflection
+// entirely in StaticDispatch mode, the way generated C++ dispatch code does
+// in Charm++. Method ids are the alphabetical rank of the entry method name;
+// use Runtime.MethodID to look them up at startup.
+type FastDispatcher interface {
+	DispatchEM(methodID int, args []any)
+}
+
+// Chareable is implemented by any struct that embeds Chare.
+type Chareable interface {
+	chareBase() *Chare
+}
+
+// emInfo describes one entry method of a registered chare type.
+type emInfo struct {
+	id       int32
+	name     string
+	fn       reflect.Value // func with receiver as first arg
+	argTypes []reflect.Type
+	threaded bool
+	when     *expr.Expr
+	argNames []string // names under which args are visible to when-conditions
+}
+
+// chareType is the registration record for one chare class.
+type chareType struct {
+	name      string
+	rtype     reflect.Type // the struct type (not pointer)
+	methods   []*emInfo    // sorted by name; index == method id
+	byName    map[string]*emInfo
+	fast      bool // implements FastDispatcher
+	hasResume bool // has a ResumeFromSync entry method
+}
+
+// RegOpt configures chare type registration.
+type RegOpt func(*regOpts)
+
+type regOpts struct {
+	whens    map[string]string
+	threaded map[string]bool
+	argNames map[string][]string
+}
+
+// When attaches a CharmPy-style when-condition to an entry method: messages
+// for the method are buffered until the condition (over "self" and the
+// method's arguments) evaluates true. Equivalent to @when('cond') in the
+// paper (section II-E).
+func When(method, condition string) RegOpt {
+	return func(o *regOpts) { o.whens[method] = condition }
+}
+
+// Threaded marks entry methods as threaded: they run in their own goroutine
+// and may suspend on futures and Wait conditions (paper section II-H1).
+func Threaded(methods ...string) RegOpt {
+	return func(o *regOpts) {
+		for _, m := range methods {
+			o.threaded[m] = true
+		}
+	}
+}
+
+// ArgNames gives names to an entry method's positional arguments so that
+// when-conditions can refer to them by name (Go reflection cannot recover
+// parameter names). Unnamed arguments are always available as arg0, arg1, ...
+func ArgNames(method string, names ...string) RegOpt {
+	return func(o *regOpts) { o.argNames[method] = names }
+}
+
+// baseMethods is the set of method names promoted from the embedded Chare
+// base (and migration hooks); they are not entry methods.
+var baseMethods = func() map[string]bool {
+	set := map[string]bool{
+		"GobEncode": true, "GobDecode": true, "DispatchEM": true,
+		"Migrated": true, "String": true,
+	}
+	t := reflect.TypeOf(&Chare{})
+	for i := 0; i < t.NumMethod(); i++ {
+		set[t.Method(i).Name] = true
+	}
+	return set
+}()
+
+// Register registers a chare type from its prototype (a pointer to a struct
+// embedding Chare). It must be called before Runtime.Start, identically on
+// every node of a job. It returns the type name under which the chare is
+// registered.
+func (rt *Runtime) Register(proto Chareable, opts ...RegOpt) string {
+	o := &regOpts{
+		whens:    map[string]string{},
+		threaded: map[string]bool{},
+		argNames: map[string][]string{},
+	}
+	for _, fn := range opts {
+		fn(o)
+	}
+	pt := reflect.TypeOf(proto)
+	if pt.Kind() != reflect.Ptr || pt.Elem().Kind() != reflect.Struct {
+		panic(fmt.Sprintf("core: Register needs a pointer to struct, got %T", proto))
+	}
+	st := pt.Elem()
+	name := st.Name()
+	if name == "" {
+		panic("core: cannot register unnamed chare type")
+	}
+	if rt.started.Load() {
+		panic("core: Register after Start")
+	}
+	ct := &chareType{
+		name:   name,
+		rtype:  st,
+		byName: map[string]*emInfo{},
+	}
+	_, ct.fast = proto.(FastDispatcher)
+	var names []string
+	for i := 0; i < pt.NumMethod(); i++ {
+		m := pt.Method(i)
+		if baseMethods[m.Name] {
+			continue
+		}
+		names = append(names, m.Name)
+	}
+	sort.Strings(names)
+	for i, mn := range names {
+		m, _ := pt.MethodByName(mn)
+		info := &emInfo{id: int32(i), name: mn, fn: m.Func}
+		nIn := m.Type.NumIn() // includes receiver
+		for a := 1; a < nIn; a++ {
+			info.argTypes = append(info.argTypes, m.Type.In(a))
+		}
+		if cond, ok := o.whens[mn]; ok {
+			e, err := expr.Compile(cond)
+			if err != nil {
+				panic(fmt.Sprintf("core: when-condition for %s.%s: %v", name, mn, err))
+			}
+			info.when = e
+		}
+		info.threaded = o.threaded[mn]
+		info.argNames = o.argNames[mn]
+		ct.methods = append(ct.methods, info)
+		ct.byName[mn] = info
+		if mn == "ResumeFromSync" {
+			ct.hasResume = true
+		}
+	}
+	for mn := range o.whens {
+		if _, ok := ct.byName[mn]; !ok {
+			panic(fmt.Sprintf("core: When for unknown method %s.%s", name, mn))
+		}
+	}
+	for mn := range o.threaded {
+		if mn == "" {
+			continue
+		}
+		if _, ok := ct.byName[mn]; !ok {
+			panic(fmt.Sprintf("core: Threaded for unknown method %s.%s", name, mn))
+		}
+	}
+	rt.mu.Lock()
+	if _, dup := rt.types[name]; dup {
+		rt.mu.Unlock()
+		panic(fmt.Sprintf("core: chare type %q registered twice", name))
+	}
+	rt.types[name] = ct
+	rt.mu.Unlock()
+	// Register with the gob fallback so instances can migrate and ctor args
+	// of this type can cross nodes.
+	ser.RegisterType(reflect.New(st).Interface())
+	return name
+}
+
+// MethodID returns the dispatch-table id of an entry method of a registered
+// chare type, for use by FastDispatcher implementations.
+func (rt *Runtime) MethodID(typeName, method string) int {
+	rt.mu.Lock()
+	ct := rt.types[typeName]
+	rt.mu.Unlock()
+	if ct == nil {
+		panic(fmt.Sprintf("core: unknown chare type %q", typeName))
+	}
+	info, ok := ct.byName[method]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown method %s.%s", typeName, method))
+	}
+	return int(info.id)
+}
+
+// ArrayMap computes the initial placement of array elements, mirroring the
+// paper's ArrayMap chares (section II-G1). Implementations must be
+// deterministic: every node runs them independently.
+type ArrayMap interface {
+	ProcNum(index []int, numPEs int) int
+}
+
+// RegisterMap registers an ArrayMap under a name so that array creation
+// messages can refer to it across nodes.
+func (rt *Runtime) RegisterMap(name string, m ArrayMap) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.maps[name] = m
+}
+
+// ReducerFunc combines a list of contributions into one value. It is applied
+// to per-PE batches and to the batch of per-PE partials at the root, so it
+// must be insensitive to such regrouping (same contract as CharmPy custom
+// reducers).
+type ReducerFunc func(contribs []any) any
+
+// AddReducer registers a custom reducer (paper section II-F1). Must be
+// registered identically on every node.
+func (rt *Runtime) AddReducer(name string, fn ReducerFunc) Reducer {
+	if builtinReducers[name] {
+		panic(fmt.Sprintf("core: reducer %q is built-in", name))
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.reducers[name] = fn
+	return Reducer{Name: name}
+}

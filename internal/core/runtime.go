@@ -1,0 +1,386 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"charmgo/internal/ser"
+	"charmgo/internal/trace"
+	"charmgo/internal/transport"
+)
+
+func init() {
+	// Pre-register with the gob fallback every type that may travel inside
+	// interface-typed argument lists or control payloads.
+	for _, v := range []any{
+		int(0), int8(0), int16(0), int32(0), int64(0),
+		uint(0), uint8(0), uint16(0), uint32(0), uint64(0),
+		float32(0), float64(0), bool(false), string(""),
+		[]byte(nil), []int(nil), []int32(nil), []int64(nil),
+		[]float32(nil), []float64(nil), []string(nil), []bool(nil),
+		[]any(nil), map[string]any(nil), map[string]int(nil),
+		map[string]float64(nil), [][]int(nil), [][]float64(nil),
+		Proxy{}, Future{}, FutureRef{}, Target{}, Reducer{},
+		LBObject{}, []LBObject(nil),
+	} {
+		ser.RegisterType(v)
+	}
+}
+
+// LBStrategy computes a new element-to-PE assignment from measured loads.
+// Implementations live in internal/lb; the interface is defined here so the
+// runtime's AtSync protocol can drive any strategy.
+type LBStrategy interface {
+	Name() string
+	// Assign returns the new PE for every object key. Objects omitted from
+	// the result stay where they are.
+	Assign(objs []LBObject, numPEs int) map[string]PE
+}
+
+// Config configures a Runtime (one node of a job).
+type Config struct {
+	// PEs is the number of processing elements hosted by this node.
+	// It must be identical on every node of a job. Default 1.
+	PEs int
+	// Transport connects this node to its peers. Nil means single-node.
+	Transport transport.Transport
+	// Dispatch selects Static (Charm++-like) or Dynamic (CharmPy-like)
+	// entry-method dispatch. See DESIGN.md.
+	Dispatch DispatchMode
+	// ForceSerialize serializes and deserializes every cross-PE message even
+	// within the node, modelling separate-process behaviour for experiments.
+	ForceSerialize bool
+	// LB is the load-balancing strategy run at AtSync points. Nil means
+	// AtSync acts as a barrier with no migrations.
+	LB LBStrategy
+	// Trace, when non-nil, records entry-method executions and message
+	// sends (Projections-style performance tracing; internal/trace).
+	Trace *trace.Tracer
+}
+
+// Runtime is one node of a charmgo job: it hosts PEs, the chare-type
+// registry, and the inter-node wiring. It corresponds to the per-process
+// "charm" runtime object of the paper.
+type Runtime struct {
+	cfg      Config
+	nodeID   int
+	numNodes int
+	basePE   PE
+	totalPEs int
+
+	mu       sync.Mutex
+	types    map[string]*chareType
+	maps     map[string]ArrayMap
+	reducers map[string]ReducerFunc
+
+	collMu sync.RWMutex
+	colls  map[CID]*createMsg // collection metadata, known on every node
+
+	locMu    sync.Mutex
+	locCache map[CID]map[string]PE // last-known element locations (hints)
+
+	pes     []*peState
+	entry   func(*Chare)
+	started atomic.Bool
+	exited  atomic.Bool
+	exitFn  sync.Once
+	wg      sync.WaitGroup
+	done    chan struct{}
+
+	qd qdState
+
+	// test/diagnostic hooks
+	statsMu    sync.Mutex
+	nMsgsLocal int64
+	nMsgsWire  int64
+}
+
+// NewRuntime creates a node runtime. Register chare types on it, then call
+// Start.
+func NewRuntime(cfg Config) *Runtime {
+	if cfg.PEs <= 0 {
+		cfg.PEs = 1
+	}
+	rt := &Runtime{
+		cfg:      cfg,
+		types:    map[string]*chareType{},
+		maps:     map[string]ArrayMap{},
+		reducers: map[string]ReducerFunc{},
+		colls:    map[CID]*createMsg{},
+		locCache: map[CID]map[string]PE{},
+		done:     make(chan struct{}),
+	}
+	if cfg.Transport != nil {
+		rt.nodeID = cfg.Transport.NodeID()
+		rt.numNodes = cfg.Transport.NumNodes()
+	} else {
+		rt.numNodes = 1
+	}
+	rt.basePE = PE(rt.nodeID * cfg.PEs)
+	rt.totalPEs = rt.numNodes * cfg.PEs
+	rt.Register(&mainChare{}, Threaded("Run"))
+	return rt
+}
+
+// NumPEs returns the total number of PEs across the whole job.
+func (rt *Runtime) NumPEs() int { return rt.totalPEs }
+
+// NodeID returns this node's id.
+func (rt *Runtime) NodeID() int { return rt.nodeID }
+
+// mainChare hosts the user entry point on PE 0 as an implicitly threaded
+// entry method, like CharmPy's entry point (paper section II-B).
+type mainChare struct {
+	Chare
+}
+
+// Run invokes the runtime's registered entry function.
+func (m *mainChare) Run() {
+	rt := m.ec.p.rt
+	if rt.entry != nil {
+		rt.entry(&m.Chare)
+	}
+}
+
+// Start launches the node's PEs and, on node 0, runs entry as the program
+// entry point. It blocks until Exit is called somewhere in the job.
+func (rt *Runtime) Start(entry func(self *Chare)) {
+	if rt.started.Swap(true) {
+		panic("core: Start called twice")
+	}
+	rt.entry = entry
+	rt.pes = make([]*peState, rt.cfg.PEs)
+	for i := 0; i < rt.cfg.PEs; i++ {
+		rt.pes[i] = newPEState(rt, rt.basePE+PE(i))
+	}
+	if tr := rt.cfg.Transport; tr != nil {
+		tr.SetHandler(rt.onFrame)
+	}
+	for _, p := range rt.pes {
+		rt.wg.Add(1)
+		go func(p *peState) {
+			defer rt.wg.Done()
+			p.loop()
+		}(p)
+	}
+	if rt.nodeID == 0 {
+		rt.pes[0].mbox.push(&Message{Kind: mStartMain, Src: -1})
+	}
+	rt.wg.Wait()
+	close(rt.done)
+}
+
+// Exit terminates the whole job (paper: charm.exit()). Safe to call from any
+// entry method on any node.
+func (rt *Runtime) Exit() {
+	rt.exitFn.Do(func() {
+		rt.exited.Store(true)
+		if tr := rt.cfg.Transport; tr != nil {
+			frame := encodeMsg(-1, &Message{Kind: mExit, Src: -1})
+			for n := 0; n < rt.numNodes; n++ {
+				if n != rt.nodeID {
+					tr.Send(n, frame) //nolint:errcheck // peer may already be down
+				}
+			}
+		}
+		rt.localExit()
+	})
+}
+
+func (rt *Runtime) localExit() {
+	rt.exited.Store(true)
+	for _, p := range rt.pes {
+		p.mbox.pushFront(&Message{Kind: mExit, Src: -1})
+	}
+}
+
+// Done returns a channel closed when the job has exited on this node.
+func (rt *Runtime) Done() <-chan struct{} { return rt.done }
+
+// nodeOf returns the node hosting a global PE.
+func (rt *Runtime) nodeOf(pe PE) int { return int(pe) / rt.cfg.PEs }
+
+// localPE returns the peState for a global PE hosted by this node.
+func (rt *Runtime) localPE(pe PE) *peState {
+	return rt.pes[int(pe)-int(rt.basePE)]
+}
+
+func (rt *Runtime) isLocal(pe PE) bool {
+	return int(pe) >= int(rt.basePE) && int(pe) < int(rt.basePE)+rt.cfg.PEs
+}
+
+// send routes m to the PE that should handle it.
+func (rt *Runtime) send(pe PE, m *Message) {
+	if pe < 0 || int(pe) >= rt.totalPEs {
+		panic(fmt.Sprintf("core: send to invalid PE %d (total %d)", pe, rt.totalPEs))
+	}
+	rt.qdCountSend(m.Kind)
+	if tr := rt.cfg.Trace; tr != nil && m.Kind == mInvoke {
+		src := -1
+		if rt.isLocal(m.Src) {
+			src = int(m.Src - rt.basePE)
+		}
+		tr.Send(src, m.Method, tr.Since(), 0)
+	}
+	if rt.isLocal(pe) {
+		if rt.cfg.ForceSerialize && serializableKind(m.Kind) {
+			frame := encodeMsg(pe, m)
+			_, m2, err := decodeMsg(frame)
+			if err != nil {
+				panic("core: ForceSerialize roundtrip: " + err.Error())
+			}
+			rt.rebindMsg(m2)
+			m = m2
+		}
+		rt.statAdd(&rt.nMsgsLocal)
+		rt.localPE(pe).mbox.push(m)
+		return
+	}
+	rt.statAdd(&rt.nMsgsWire)
+	frame := encodeMsg(pe, m)
+	if err := rt.cfg.Transport.Send(rt.nodeOf(pe), frame); err != nil && !rt.exited.Load() {
+		panic(fmt.Sprintf("core: transport send to PE %d: %v", pe, err))
+	}
+}
+
+// bcastAllPEs delivers a copy of m to every PE in the job.
+func (rt *Runtime) bcastAllPEs(m *Message) {
+	if rt.numNodes > 1 {
+		frame := encodeMsg(-1, m)
+		for n := 0; n < rt.numNodes; n++ {
+			if n != rt.nodeID {
+				rt.qdCountSend(m.Kind) // the frame itself, matched at ingress
+				if err := rt.cfg.Transport.Send(n, frame); err != nil && !rt.exited.Load() {
+					panic(fmt.Sprintf("core: transport broadcast: %v", err))
+				}
+			}
+		}
+	}
+	rt.deliverAllLocal(m)
+}
+
+func (rt *Runtime) deliverAllLocal(m *Message) {
+	for _, p := range rt.pes {
+		rt.qdCountSend(m.Kind) // per-copy; matched when the PE dequeues it
+		cp := *m
+		p.mbox.push(&cp)
+	}
+}
+
+// onFrame handles an inbound frame from another node.
+func (rt *Runtime) onFrame(from int, frame []byte) {
+	dest, m, err := decodeMsg(frame)
+	if err != nil {
+		panic(fmt.Sprintf("core: bad frame from node %d: %v", from, err))
+	}
+	rt.rebindMsg(m)
+	if m.Kind == mExit {
+		rt.localExit()
+		return
+	}
+	if dest < 0 {
+		rt.qdCountRecv(m.Kind) // the broadcast frame; copies counted per-PE
+		rt.deliverAllLocal(m)
+		return
+	}
+	if !rt.isLocal(dest) {
+		// mis-routed (e.g. stale location): count as received here, then
+		// forward (the forward counts as a fresh send)
+		rt.qdCountRecv(m.Kind)
+		rt.send(dest, m)
+		return
+	}
+	rt.localPE(dest).mbox.push(m)
+}
+
+func (rt *Runtime) statAdd(p *int64) {
+	rt.statsMu.Lock()
+	*p++
+	rt.statsMu.Unlock()
+}
+
+// MsgCounts returns (local, wire) message counts; used by tests and benches.
+func (rt *Runtime) MsgCounts() (local, wire int64) {
+	rt.statsMu.Lock()
+	defer rt.statsMu.Unlock()
+	return rt.nMsgsLocal, rt.nMsgsWire
+}
+
+// collection metadata
+
+func (rt *Runtime) putCollMeta(cm *createMsg) {
+	rt.collMu.Lock()
+	rt.colls[cm.CID] = cm
+	rt.collMu.Unlock()
+}
+
+func (rt *Runtime) collMeta(cid CID) *createMsg {
+	rt.collMu.RLock()
+	defer rt.collMu.RUnlock()
+	return rt.colls[cid]
+}
+
+// location cache (hints only; authoritative state lives at home PEs)
+
+func (rt *Runtime) cacheLoc(cid CID, key string, pe PE) {
+	rt.locMu.Lock()
+	m := rt.locCache[cid]
+	if m == nil {
+		m = map[string]PE{}
+		rt.locCache[cid] = m
+	}
+	m[key] = pe
+	rt.locMu.Unlock()
+}
+
+func (rt *Runtime) cachedLoc(cid CID, key string) (PE, bool) {
+	rt.locMu.Lock()
+	defer rt.locMu.Unlock()
+	pe, ok := rt.locCache[cid][key]
+	return pe, ok
+}
+
+// homePE returns the element's home PE, which tracks its location after
+// migrations (Charm++-style location management).
+func (rt *Runtime) homePE(cid CID, key string) PE {
+	return PE(idxHash(keyIdx(key)) % uint64(rt.totalPEs))
+}
+
+// initialPE computes the deterministic initial placement of an element.
+func (rt *Runtime) initialPE(cm *createMsg, idx []int) PE {
+	switch cm.Kind {
+	case ckSingle:
+		if cm.OnPE >= 0 {
+			return cm.OnPE
+		}
+		return PE(uint32(cm.CID) % uint32(rt.totalPEs))
+	case ckGroup:
+		return PE(idx[0])
+	case ckArray:
+		if cm.MapName != "" {
+			rt.mu.Lock()
+			am := rt.maps[cm.MapName]
+			rt.mu.Unlock()
+			if am == nil {
+				panic(fmt.Sprintf("core: array map %q not registered on node %d", cm.MapName, rt.nodeID))
+			}
+			return PE(am.ProcNum(idx, rt.totalPEs) % rt.totalPEs)
+		}
+		// default: contiguous blocks of the linearized index space
+		n := numElems(cm.Dims)
+		pos := linearize(idx, cm.Dims)
+		return PE(pos * rt.totalPEs / n)
+	case ckSparse:
+		return rt.homePE(cm.CID, idxKey(idx))
+	}
+	panic("core: unknown collection kind")
+}
+
+func serializableKind(k msgKind) bool {
+	switch k {
+	case mInvoke, mFutureSet, mRedPartial:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+package core
+
+// Randomized stress: many chares concurrently exchanging messages,
+// migrating, reducing, and using futures — under ForceSerialize so every
+// cross-PE interaction also exercises the wire codecs. Run with -race.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// StressActor performs a random walk of actions driven by a seed.
+type StressActor struct {
+	Chare
+	Hops    int
+	Inbox   int
+	Payload []float64
+}
+
+// Step performs one random action and forwards the remaining step budget
+// to a random peer.
+func (a *StressActor) Step(seed int64, budget int, size int, done Future) {
+	rng := rand.New(rand.NewSource(seed))
+	a.Inbox++
+	if len(a.Payload) != size {
+		a.Payload = make([]float64, size)
+	}
+	for i := range a.Payload {
+		a.Payload[i] += rng.Float64()
+	}
+	if budget == 0 {
+		done.Send(a.Inbox)
+		return
+	}
+	switch rng.Intn(4) {
+	case 0: // migrate somewhere, then continue from there
+		a.Migrate(PE(rng.Intn(a.NumPEs())))
+		a.SelfProxy().Call("Step", seed+1, budget-1, size, done)
+	case 1: // ping a random sibling
+		n := rng.Intn(size) // reuse size as the collection size knob
+		a.ThisProxy().At(n).Call("Step", seed+1, budget-1, size, done)
+	case 2: // self-message with payload churn
+		a.SelfProxy().Call("Step", seed+1, budget-1, size, done)
+	default: // double fan-out, split the budget
+		n1, n2 := rng.Intn(size), rng.Intn(size)
+		half := (budget - 1) / 2
+		a.ThisProxy().At(n1).Call("Step", seed+1, half, size, done)
+		a.ThisProxy().At(n2).Call("Step", seed+2, budget-1-half, size, done)
+	}
+}
+
+// Tally reduces inbox counters.
+func (a *StressActor) Tally(done Future) {
+	a.Contribute(a.Inbox, SumReducer, done)
+}
+
+func TestStressRandomWalk(t *testing.T) {
+	const actors = 16
+	const walks = 8
+	const budget = 30
+	runJob(t, Config{PEs: 4, ForceSerialize: true}, func(rt *Runtime) {
+		rt.Register(&StressActor{})
+	}, func(self *Chare) {
+		arr := self.NewArray(&StressActor{}, []int{actors})
+		// zero-budget walks terminate immediately, one done each
+		done := self.CreateFuture(walks)
+		for w := 0; w < walks; w++ {
+			arr.At(w%actors).Call("Step", int64(1000+w), 0, actors, done)
+		}
+		done.Get()
+		// now longer walks, counted via quiescence + reduction
+		fire := self.CreateFuture(walks)
+		for w := 0; w < walks; w++ {
+			arr.At(w%actors).Call("StartWalk", int64(w)*7919, budget, actors, fire)
+		}
+		self.WaitQD()
+		tally := self.CreateFuture()
+		arr.Call("Tally", tally)
+		total := tally.Get().(int)
+		// every Step invocation increments an inbox exactly once; at least
+		// walks*(budget+1) steps must have happened (fan-outs add more)
+		if total < walks*2 {
+			t.Errorf("stress total %d suspiciously low", total)
+		}
+	})
+}
+
+// StartWalk launches a walk without a completion future per leaf (the test
+// uses quiescence detection to know when the storm settles).
+func (a *StressActor) StartWalk(seed int64, budget, size int, fire Future) {
+	rng := rand.New(rand.NewSource(seed))
+	a.walk(rng, budget, size)
+	fire.Send(nil)
+}
+
+func (a *StressActor) walk(rng *rand.Rand, budget, size int) {
+	a.Inbox++
+	if budget == 0 {
+		return
+	}
+	switch rng.Intn(4) {
+	case 0:
+		a.Migrate(PE(rng.Intn(a.NumPEs())))
+		a.SelfProxy().Call("Walk", rng.Int63(), budget-1, size)
+	case 1:
+		a.ThisProxy().At(rng.Intn(size)).Call("Walk", rng.Int63(), budget-1, size)
+	case 2:
+		a.SelfProxy().Call("Walk", rng.Int63(), budget-1, size)
+	default:
+		half := (budget - 1) / 2
+		a.ThisProxy().At(rng.Intn(size)).Call("Walk", rng.Int63(), half, size)
+		a.ThisProxy().At(rng.Intn(size)).Call("Walk", rng.Int63(), budget-1-half, size)
+	}
+}
+
+// Walk is the recursive step of StartWalk.
+func (a *StressActor) Walk(seed int64, budget, size int) {
+	a.walk(rand.New(rand.NewSource(seed)), budget, size)
+}
+
+func TestStressMultiNode(t *testing.T) {
+	const actors = 12
+	runMultiNode(t, 3, 2, nil, func(rt *Runtime) {
+		rt.Register(&StressActor{})
+	}, func(self *Chare) {
+		arr := self.NewArray(&StressActor{}, []int{actors})
+		fire := self.CreateFuture(6)
+		for w := 0; w < 6; w++ {
+			arr.At(w).Call("StartWalk", int64(w)*104729, 25, actors, fire)
+		}
+		self.WaitQD()
+		tally := self.CreateFuture()
+		arr.Call("Tally", tally)
+		if total := tally.Get().(int); total < 6 {
+			t.Errorf("multi-node stress total %d", total)
+		}
+	})
+}

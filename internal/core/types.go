@@ -1,0 +1,297 @@
+// Package core implements the charmgo runtime: a from-scratch Go
+// implementation of the CharmPy programming model (distributed migratable
+// objects with asynchronous remote method invocation) together with the
+// Charm++-style message-driven scheduler substrate it runs on.
+//
+// Architecture (see DESIGN.md):
+//
+//   - A Runtime is one "node" (the paper's OS process). It hosts NumPEs
+//     processing elements; each PE is a scheduler goroutine draining an
+//     unbounded mailbox and executing one entry method at a time.
+//   - Chares are user structs embedding Chare, organised into collections
+//     (single chares, Groups with one member per PE, dense N-dimensional
+//     Arrays, and sparse arrays with dynamic insertion).
+//   - Proxies perform asynchronous remote method invocation; same-node calls
+//     pass arguments by reference (paper section II-D), cross-node calls
+//     serialize through internal/ser.
+//   - Threaded entry methods may suspend on futures and wait-conditions while
+//     the PE continues scheduling other work.
+//   - Reductions combine contributions per PE and then at a root PE;
+//     migration and measurement-based load balancing follow the Charm++
+//     AtSync protocol.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PE identifies a processing element (a scheduler; the unit the paper calls
+// a "core"). PEs are numbered globally across all nodes of a job.
+type PE int32
+
+// AnyPE asks the runtime to pick a PE when creating a single chare.
+const AnyPE PE = -1
+
+// CID identifies a chare collection globally. It encodes the creating PE and
+// a per-PE sequence number, so allocation needs no coordination.
+type CID int32
+
+func makeCID(creator PE, seq int32) CID { return CID(int32(creator)<<16 | seq) }
+
+// collection kinds
+const (
+	ckSingle uint8 = iota
+	ckGroup
+	ckArray
+	ckSparse
+)
+
+// message kinds
+type msgKind uint8
+
+const (
+	mInvoke msgKind = iota
+	mCreate
+	mInsert
+	mDoneInserting
+	mFutureSet
+	mRedPartial
+	mMigrate
+	mLocUpdate
+	mExit
+	mStartMain
+	mLBStats
+	mLBMoves
+	mLBAck
+	mLBResume
+	mQDStart
+	mQDProbe
+	mQDReply
+	mCkptCollect
+	mPing
+	mChanMsg
+)
+
+// idxKey converts an element index to a compact map key.
+func idxKey(idx []int) string {
+	var b [binary.MaxVarintLen64]byte
+	out := make([]byte, 0, 4*len(idx))
+	for _, v := range idx {
+		n := binary.PutVarint(b[:], int64(v))
+		out = append(out, b[:n]...)
+	}
+	return string(out)
+}
+
+// keyIdx reverses idxKey.
+func keyIdx(key string) []int {
+	data := []byte(key)
+	var out []int
+	for len(data) > 0 {
+		v, n := binary.Varint(data)
+		if n <= 0 {
+			panic("core: corrupt index key")
+		}
+		out = append(out, int(v))
+		data = data[n:]
+	}
+	return out
+}
+
+func idxEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// idxHash is a small FNV-1a hash of an index, used for home-PE assignment.
+func idxHash(idx []int) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range idx {
+		x := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= 1099511628211
+			x >>= 8
+		}
+	}
+	return h
+}
+
+// numElems returns the number of elements in a dense array of given dims.
+func numElems(dims []int) int {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	return n
+}
+
+// linearize converts a dense index into a linear position (row-major).
+func linearize(idx, dims []int) int {
+	p := 0
+	for i, v := range idx {
+		p = p*dims[i] + v
+	}
+	return p
+}
+
+// delinearize is the inverse of linearize.
+func delinearize(pos int, dims []int) []int {
+	idx := make([]int, len(dims))
+	for i := len(dims) - 1; i >= 0; i-- {
+		idx[i] = pos % dims[i]
+		pos /= dims[i]
+	}
+	return idx
+}
+
+// FutureRef identifies a future: the PE whose runtime owns the value slot,
+// and a per-PE id. FutureRefs are plain data and may cross nodes.
+type FutureRef struct {
+	PE PE
+	ID int64
+}
+
+func (r FutureRef) valid() bool { return r.ID != 0 }
+
+// Message is the unit of communication between chares. Within a node it is
+// passed by pointer with Args by reference (the CharmPy same-process
+// optimization); across nodes it is serialized.
+type Message struct {
+	Kind   msgKind
+	CID    CID
+	Idx    []int  // destination element; nil means broadcast to collection
+	MID    int32  // static entry-method id; -1 means dispatch by Method name
+	Method string // entry-method name (dynamic dispatch, diagnostics)
+	Src    PE
+	Fut    FutureRef // completion/return future (proxy ret=true)
+	Args   []any
+	Ctl    any  // control payload for non-invoke kinds
+	hops   int8 // forwarding hop count (location management loop guard)
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("msg{%d cid=%d idx=%v m=%s/%d src=%d}", m.Kind, m.CID, m.Idx, m.Method, m.MID, m.Src)
+}
+
+// control payloads (gob-encoded across nodes)
+
+type createMsg struct {
+	CID     CID
+	Kind    uint8
+	Type    string
+	Dims    []int
+	NDims   int
+	OnPE    PE
+	MapName string
+	Args    []any
+	Creator PE
+	NoInit  bool // restore path: elements arrive via migration, skip ctor
+}
+
+type insertMsg struct {
+	CID  CID
+	Idx  []int
+	Args []any
+	OnPE PE
+}
+
+type doneInsertingMsg struct {
+	CID   CID
+	Count int // phase 2: one PE's local element count (-1 in phase 1)
+	Total int // phase 3: global element count, fixed from now on
+}
+
+type futSetMsg struct {
+	Ref FutureRef
+	Val any
+}
+
+type redPartialMsg struct {
+	CID     CID
+	Seq     int64
+	Count   int // number of element contributions folded into this partial
+	Reducer string
+	Data    any      // pre-combined partial (built-in reducers)
+	List    []redElt // raw contributions (custom/gather reducers)
+	Target  Target
+}
+
+type redElt struct {
+	Key  string // element index key (for gather ordering)
+	Data any
+}
+
+type migrateMsg struct {
+	CID   CID
+	Idx   []int
+	Blob  []byte // gob-encoded chare
+	RedNo int64
+	Load  float64
+	ASeq  int64 // atSync epoch counter carried across migration
+}
+
+type locUpdateMsg struct {
+	CID CID
+	Idx []int
+	At  PE
+}
+
+type lbStatsMsg struct {
+	CID  CID
+	PE   PE
+	Objs []LBObject
+}
+
+type lbMovesMsg struct {
+	CID   CID
+	Moves map[string]PE // element key -> destination PE
+}
+
+type lbResumeMsg struct {
+	CID CID
+}
+
+// LBObject describes one migratable element to a load-balancing strategy.
+type LBObject struct {
+	Key  string  // element index key
+	PE   PE      // current location
+	Load float64 // measured wall-clock seconds since last LB round
+}
+
+// Target names the receiver of a reduction result: either an entry method of
+// a chare/collection (paper: proxy.method) or a future.
+type Target struct {
+	CID    CID
+	Idx    []int // nil = broadcast result to whole collection
+	Method string
+	Fut    FutureRef
+	IsFut  bool
+}
+
+// Reducer names a reduction function. Built-in reducers are predeclared
+// (SumReducer etc.); custom reducers are registered with Runtime.AddReducer.
+// The zero Reducer denotes an empty reduction (a barrier).
+type Reducer struct {
+	Name string
+}
+
+// Built-in reducers (paper section II-F).
+var (
+	NopReducer     = Reducer{}
+	SumReducer     = Reducer{"sum"}
+	ProductReducer = Reducer{"product"}
+	MaxReducer     = Reducer{"max"}
+	MinReducer     = Reducer{"min"}
+	GatherReducer  = Reducer{"gather"}
+	AndReducer     = Reducer{"logical_and"}
+	OrReducer      = Reducer{"logical_or"}
+)

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"charmgo/internal/ser"
+)
+
+func init() {
+	// Control payloads travel inside Message.Ctl (an interface), so their
+	// concrete types must be registered with gob.
+	for _, v := range []any{
+		&createMsg{}, &insertMsg{}, &doneInsertingMsg{}, &futSetMsg{},
+		&redPartialMsg{}, &migrateMsg{}, &locUpdateMsg{},
+		&lbStatsMsg{}, &lbMovesMsg{}, &lbResumeMsg{},
+		&qdStartMsg{}, &qdProbeMsg{}, &qdReplyMsg{}, &ckptCollectMsg{},
+		ckptBundle{}, &chanMsg{},
+	} {
+		ser.RegisterType(v)
+	}
+}
+
+// encodeMsg serializes a message for the wire. dest < 0 means node-level
+// broadcast (deliver to every PE of the receiving node).
+//
+// The hot kinds (mInvoke, mFutureSet) use a compact custom encoding whose
+// argument lists go through internal/ser (direct-copy numeric buffers, gob
+// fallback); everything else is gob-encoded wholesale.
+func encodeMsg(dest PE, m *Message) []byte {
+	var buf bytes.Buffer
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(int32(dest)))
+	buf.Write(b4[:])
+	buf.WriteByte(byte(m.Kind))
+	switch m.Kind {
+	case mInvoke:
+		writeI32(&buf, int32(m.CID))
+		writeI32(&buf, int32(m.Src))
+		writeI32(&buf, m.MID)
+		writeI32(&buf, int32(m.Fut.PE))
+		writeVarint(&buf, m.Fut.ID)
+		writeString(&buf, m.Method)
+		writeIdx(&buf, m.Idx)
+		if err := ser.EncodeArgs(&buf, m.Args); err != nil {
+			panic(fmt.Sprintf("core: cannot serialize arguments of %s: %v", m.Method, err))
+		}
+	case mFutureSet:
+		fs := m.Ctl.(*futSetMsg)
+		writeI32(&buf, int32(fs.Ref.PE))
+		writeVarint(&buf, fs.Ref.ID)
+		if err := ser.EncodeArgs(&buf, []any{fs.Val}); err != nil {
+			panic(fmt.Sprintf("core: cannot serialize future value: %v", err))
+		}
+	default:
+		enc := gob.NewEncoder(&buf)
+		if err := enc.Encode(m); err != nil {
+			panic(fmt.Sprintf("core: cannot serialize control message kind %d: %v", m.Kind, err))
+		}
+	}
+	return buf.Bytes()
+}
+
+func decodeMsg(frame []byte) (PE, *Message, error) {
+	if len(frame) < 5 {
+		return 0, nil, fmt.Errorf("short frame (%d bytes)", len(frame))
+	}
+	dest := PE(int32(binary.LittleEndian.Uint32(frame)))
+	kind := msgKind(frame[4])
+	body := frame[5:]
+	switch kind {
+	case mInvoke:
+		m := &Message{Kind: mInvoke}
+		r := &reader{b: body}
+		m.CID = CID(r.i32())
+		m.Src = PE(r.i32())
+		m.MID = r.i32()
+		m.Fut.PE = PE(r.i32())
+		m.Fut.ID = r.varint()
+		m.Method = r.str()
+		m.Idx = r.idx()
+		if r.err != nil {
+			return 0, nil, r.err
+		}
+		args, _, err := ser.DecodeArgs(r.rest())
+		if err != nil {
+			return 0, nil, fmt.Errorf("invoke args: %w", err)
+		}
+		m.Args = args
+		return dest, m, nil
+	case mFutureSet:
+		r := &reader{b: body}
+		ref := FutureRef{PE: PE(r.i32())}
+		ref.ID = r.varint()
+		if r.err != nil {
+			return 0, nil, r.err
+		}
+		vals, _, err := ser.DecodeArgs(r.rest())
+		if err != nil || len(vals) != 1 {
+			return 0, nil, fmt.Errorf("future value: %v", err)
+		}
+		return dest, &Message{Kind: mFutureSet, Src: -1, Ctl: &futSetMsg{Ref: ref, Val: vals[0]}}, nil
+	default:
+		var m Message
+		dec := gob.NewDecoder(bytes.NewReader(body))
+		if err := dec.Decode(&m); err != nil {
+			return 0, nil, fmt.Errorf("control message kind %d: %w", kind, err)
+		}
+		return dest, &m, nil
+	}
+}
+
+func writeI32(buf *bytes.Buffer, v int32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(v))
+	buf.Write(b[:])
+}
+
+func writeVarint(buf *bytes.Buffer, v int64) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(b[:], v)
+	buf.Write(b[:n])
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], uint64(len(s)))
+	buf.Write(b[:n])
+	buf.WriteString(s)
+}
+
+// writeIdx encodes an index; 0 length marker means nil (broadcast).
+func writeIdx(buf *bytes.Buffer, idx []int) {
+	var b [binary.MaxVarintLen64]byte
+	if idx == nil {
+		buf.WriteByte(0)
+		return
+	}
+	n := binary.PutUvarint(b[:], uint64(len(idx)+1))
+	buf.Write(b[:n])
+	for _, v := range idx {
+		writeVarint(buf, int64(v))
+	}
+}
+
+type reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated message at offset %d", r.pos)
+	}
+}
+
+func (r *reader) i32() int32 {
+	if r.err != nil || r.pos+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := int32(binary.LittleEndian.Uint32(r.b[r.pos:]))
+	r.pos += 4
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) str() string {
+	l := int(r.uvarint())
+	if r.err != nil || r.pos+l > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+l])
+	r.pos += l
+	return s
+}
+
+func (r *reader) idx() []int {
+	l := r.uvarint()
+	if r.err != nil || l == 0 {
+		return nil
+	}
+	out := make([]int, l-1)
+	for i := range out {
+		out[i] = int(r.varint())
+	}
+	return out
+}
+
+func (r *reader) rest() []byte { return r.b[r.pos:] }

@@ -1,0 +1,272 @@
+package darray
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"charmgo/internal/core"
+)
+
+func init() {
+	RegisterIndexFunc("iota", func(i int) float64 { return float64(i) })
+	RegisterIndexFunc("sin", func(i int) float64 { return math.Sin(float64(i)) })
+	RegisterMapFunc("square", func(x float64) float64 { return x * x })
+	RegisterMapFunc("neg", func(x float64) float64 { return -x })
+}
+
+func runDA(t *testing.T, pes int, entry func(self *core.Chare)) {
+	t.Helper()
+	rt := core.NewRuntime(core.Config{PEs: pes})
+	Register(rt)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rt.Start(func(self *core.Chare) {
+			defer self.Exit()
+			entry(self)
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("darray job did not complete")
+	}
+}
+
+func almost(a, b float64) bool {
+	d := math.Abs(a - b)
+	return d <= 1e-9*math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+}
+
+func TestChunkRangeCoversAll(t *testing.T) {
+	for _, tc := range []struct{ n, c int }{{10, 3}, {7, 7}, {100, 8}, {5, 1}, {0, 1}} {
+		covered := 0
+		prevEnd := 0
+		for i := 0; i < tc.c; i++ {
+			s, e := chunkRange(tc.n, tc.c, i)
+			if s != prevEnd {
+				t.Errorf("n=%d c=%d chunk %d starts at %d, want %d", tc.n, tc.c, i, s, prevEnd)
+			}
+			covered += e - s
+			prevEnd = e
+		}
+		if covered != tc.n {
+			t.Errorf("n=%d c=%d covers %d", tc.n, tc.c, covered)
+		}
+	}
+}
+
+func TestFillSumNorm(t *testing.T) {
+	runDA(t, 3, func(self *core.Chare) {
+		v := New(self, 100, 7)
+		v.Fill(2.0)
+		if got := v.Sum(); !almost(got, 200) {
+			t.Errorf("Sum = %v", got)
+		}
+		if got := v.Norm(); !almost(got, math.Sqrt(400)) {
+			t.Errorf("Norm = %v", got)
+		}
+	})
+}
+
+func TestFillIndexAndCollect(t *testing.T) {
+	runDA(t, 4, func(self *core.Chare) {
+		v := New(self, 23, 5)
+		v.FillIndex("iota")
+		got := v.Collect()
+		if len(got) != 23 {
+			t.Fatalf("Collect len %d", len(got))
+		}
+		for i, x := range got {
+			if x != float64(i) {
+				t.Errorf("got[%d] = %v", i, x)
+			}
+		}
+	})
+}
+
+func TestAxpyDotAgainstLocal(t *testing.T) {
+	runDA(t, 4, func(self *core.Chare) {
+		const n = 57
+		x := New(self, n, 6)
+		y := New(self, n, 6)
+		x.FillIndex("iota")
+		y.FillIndex("sin")
+		// local reference
+		lx := make([]float64, n)
+		ly := make([]float64, n)
+		for i := range lx {
+			lx[i] = float64(i)
+			ly[i] = math.Sin(float64(i))
+		}
+		y.Axpy(2.5, x)
+		for i := range ly {
+			ly[i] += 2.5 * lx[i]
+		}
+		var want float64
+		for i := range ly {
+			want += ly[i] * lx[i]
+		}
+		if got := y.Dot(x); !almost(got, want) {
+			t.Errorf("Dot = %v, want %v", got, want)
+		}
+		got := y.Collect()
+		for i := range ly {
+			if !almost(got[i], ly[i]) {
+				t.Fatalf("y[%d] = %v, want %v", i, got[i], ly[i])
+			}
+		}
+	})
+}
+
+func TestMapScaleGetSet(t *testing.T) {
+	runDA(t, 2, func(self *core.Chare) {
+		v := New(self, 10, 3)
+		v.FillIndex("iota")
+		v.Map("square")
+		if got := v.Get(4); got != 16 {
+			t.Errorf("Get(4) = %v", got)
+		}
+		v.Scale(0.5)
+		if got := v.Get(4); got != 8 {
+			t.Errorf("after Scale Get(4) = %v", got)
+		}
+		v.Set(0, 42)
+		if got := v.Get(0); got != 42 {
+			t.Errorf("Set/Get = %v", got)
+		}
+	})
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	runDA(t, 2, func(self *core.Chare) {
+		v := New(self, 12, 4)
+		v.Fill(3)
+		w := v.Copy()
+		w.Scale(10)
+		if got := v.Get(5); got != 3 {
+			t.Errorf("source changed by copy-scale: %v", got)
+		}
+		if got := w.Get(5); got != 30 {
+			t.Errorf("copy = %v", got)
+		}
+	})
+}
+
+func TestStencil1DMatchesLocal(t *testing.T) {
+	runDA(t, 3, func(self *core.Chare) {
+		const n = 31
+		x := New(self, n, 5)
+		dst := New(self, n, 5)
+		x.FillIndex("sin")
+		x.Stencil1D(dst, -1, 2, -1) // 1D Laplacian, zero boundary
+		lx := make([]float64, n)
+		for i := range lx {
+			lx[i] = math.Sin(float64(i))
+		}
+		got := dst.Collect()
+		for i := 0; i < n; i++ {
+			left, right := 0.0, 0.0
+			if i > 0 {
+				left = lx[i-1]
+			}
+			if i < n-1 {
+				right = lx[i+1]
+			}
+			want := -left + 2*lx[i] - right
+			if !almost(got[i], want) {
+				t.Fatalf("stencil[%d] = %v, want %v", i, got[i], want)
+			}
+		}
+	})
+}
+
+func TestConjugateGradientSolves(t *testing.T) {
+	// solve A u = f with A = tridiag(-1, 2, -1) using CG built purely from
+	// the darray API (the paper's "NumPy-preserving distributed workflows")
+	runDA(t, 4, func(self *core.Chare) {
+		const n = 64
+		const chunks = 8
+		f := New(self, n, chunks)
+		f.Fill(1.0)
+		u := New(self, n, chunks)
+		u.Fill(0)
+		r := f.Copy()
+		p := r.Copy()
+		ap := New(self, n, chunks)
+		rr := r.Dot(r)
+		for iter := 0; iter < n && rr > 1e-20; iter++ {
+			p.Stencil1D(ap, -1, 2, -1)
+			alpha := rr / p.Dot(ap)
+			u.Axpy(alpha, p)
+			r.Axpy(-alpha, ap)
+			rrNew := r.Dot(r)
+			beta := rrNew / rr
+			rr = rrNew
+			// p = r + beta*p
+			p.Scale(beta)
+			p.Axpy(1, r)
+		}
+		if rr > 1e-18 {
+			t.Errorf("CG did not converge: residual^2 = %g", rr)
+		}
+		// verify A u ~= f
+		au := New(self, n, chunks)
+		u.Stencil1D(au, -1, 2, -1)
+		got := au.Collect()
+		for i := range got {
+			if math.Abs(got[i]-1.0) > 1e-7 {
+				t.Fatalf("(A u)[%d] = %v, want 1", i, got[i])
+			}
+		}
+	})
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	runDA(t, 2, func(self *core.Chare) {
+		v := New(self, 10, 2)
+		w := New(self, 12, 2)
+		defer func() {
+			if recover() == nil {
+				t.Error("Axpy with mismatched shapes did not panic")
+			}
+		}()
+		v.Axpy(1, w)
+	})
+}
+
+// Property: distributed dot equals local dot for random vectors and chunk
+// counts.
+func TestDotProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(raw []int8, ch uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw)
+		chunks := int(ch)%n%8 + 1
+		vals := make([]float64, n)
+		var want float64
+		for i, r := range raw {
+			vals[i] = float64(r) / 16
+			want += vals[i] * vals[i]
+		}
+		ok := true
+		runDA(t, 2, func(self *core.Chare) {
+			fnMu.Lock()
+			indexFns["prop"] = func(i int) float64 { return vals[i] }
+			fnMu.Unlock()
+			v := New(self, n, chunks)
+			v.FillIndex("prop")
+			ok = almost(v.Dot(v), want)
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+package dframe
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"charmgo/internal/core"
+)
+
+func init() {
+	RegisterMapFunc("double", func(x float64) float64 { return 2 * x })
+	RegisterMapFunc("sqrt", math.Sqrt)
+}
+
+func runDF(t *testing.T, pes int, entry func(self *core.Chare)) {
+	t.Helper()
+	rt := core.NewRuntime(core.Config{PEs: pes})
+	Register(rt)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rt.Start(func(self *core.Chare) {
+			defer self.Exit()
+			entry(self)
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("dframe job did not complete")
+	}
+}
+
+var testSchema = Schema{
+	{Name: "city", Kind: KString},
+	{Name: "pop", Kind: KFloat},
+	{Name: "area", Kind: KFloat},
+}
+
+func loadCities(self *core.Chare, parts int) *DataFrame {
+	df := New(self, testSchema, parts)
+	df.Load(map[string][]float64{
+		"pop":  {8.4, 3.9, 2.7, 2.3, 1.7, 8.4},
+		"area": {780, 1300, 600, 1000, 370, 780},
+	}, map[string][]string{
+		"city": {"nyc", "la", "chi", "hou", "phi", "nyc"},
+	})
+	return df
+}
+
+func TestLoadCountSumMean(t *testing.T) {
+	runDF(t, 3, func(self *core.Chare) {
+		df := loadCities(self, 4)
+		if got := df.Count(); got != 6 {
+			t.Errorf("Count = %d", got)
+		}
+		want := 8.4 + 3.9 + 2.7 + 2.3 + 1.7 + 8.4
+		if got := df.Sum("pop"); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Sum = %v", got)
+		}
+		if got := df.Mean("pop"); math.Abs(got-want/6) > 1e-12 {
+			t.Errorf("Mean = %v", got)
+		}
+		lo, hi := df.MinMax("pop")
+		if lo != 1.7 || hi != 8.4 {
+			t.Errorf("MinMax = %v, %v", lo, hi)
+		}
+	})
+}
+
+func TestFilterChain(t *testing.T) {
+	runDF(t, 2, func(self *core.Chare) {
+		df := loadCities(self, 3)
+		big := df.Filter("pop", ">", 2.5)
+		if got := big.Count(); got != 4 {
+			t.Errorf("filtered count = %d, want 4", got)
+		}
+		mid := big.Filter("pop", "<", 8)
+		if got := mid.Count(); got != 2 {
+			t.Errorf("chained filter count = %d, want 2", got)
+		}
+		// original unchanged
+		if got := df.Count(); got != 6 {
+			t.Errorf("source mutated: %d", got)
+		}
+	})
+}
+
+func TestMapColumn(t *testing.T) {
+	runDF(t, 2, func(self *core.Chare) {
+		df := loadCities(self, 2)
+		df.Map("pop", "area", "double") // overwrite area with 2*pop
+		want := 2 * (8.4 + 3.9 + 2.7 + 2.3 + 1.7 + 8.4)
+		if got := df.Sum("area"); math.Abs(got-want) > 1e-12 {
+			t.Errorf("mapped sum = %v, want %v", got, want)
+		}
+	})
+}
+
+func TestGroupBySum(t *testing.T) {
+	runDF(t, 4, func(self *core.Chare) {
+		df := loadCities(self, 5)
+		got := df.GroupBySum("city", "pop")
+		want := map[string]float64{"nyc": 16.8, "la": 3.9, "chi": 2.7, "hou": 2.3, "phi": 1.7}
+		if len(got) != len(want) {
+			t.Fatalf("groups = %v", got)
+		}
+		for k, v := range want {
+			if math.Abs(got[k]-v) > 1e-9 {
+				t.Errorf("group %q = %v, want %v", k, got[k], v)
+			}
+		}
+	})
+}
+
+func TestHead(t *testing.T) {
+	runDF(t, 2, func(self *core.Chare) {
+		df := loadCities(self, 3)
+		rows := df.Head(2)
+		if len(rows) != 2 {
+			t.Fatalf("Head(2) = %d rows", len(rows))
+		}
+		if rows[0]["city"] != "nyc" || rows[0]["pop"] != 8.4 {
+			t.Errorf("row 0 = %v", rows[0])
+		}
+		if rows[1]["city"] != "la" {
+			t.Errorf("row 1 = %v", rows[1])
+		}
+	})
+}
+
+func TestEmptyFrame(t *testing.T) {
+	runDF(t, 2, func(self *core.Chare) {
+		df := New(self, testSchema, 3)
+		if got := df.Count(); got != 0 {
+			t.Errorf("empty Count = %d", got)
+		}
+		if got := df.Sum("pop"); got != 0 {
+			t.Errorf("empty Sum = %v", got)
+		}
+		if rows := df.Head(5); len(rows) != 0 {
+			t.Errorf("empty Head = %v", rows)
+		}
+	})
+}
+
+// Property: distributed GroupBySum equals a local group-by for random data.
+func TestGroupBySumProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	keys := []string{"a", "b", "c", "d"}
+	f := func(raw []uint8, parts uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		nParts := int(parts)%6 + 1
+		ks := make([]string, len(raw))
+		vs := make([]float64, len(raw))
+		want := map[string]float64{}
+		for i, r := range raw {
+			ks[i] = keys[int(r)%len(keys)]
+			vs[i] = float64(r)
+			want[ks[i]] += vs[i]
+		}
+		ok := true
+		runDF(t, 2, func(self *core.Chare) {
+			df := New(self, Schema{{Name: "k", Kind: KString}, {Name: "v", Kind: KFloat}}, nParts)
+			df.Load(map[string][]float64{"v": vs}, map[string][]string{"k": ks})
+			got := df.GroupBySum("k", "v")
+			if len(got) != len(want) {
+				ok = false
+				return
+			}
+			for k, v := range want {
+				if math.Abs(got[k]-v) > 1e-9 {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package lb provides load-balancing strategies for the charmgo runtime,
+// mirroring the Charm++ load balancing framework the paper relies on
+// (sections II-J and V-B). Strategies receive measured per-chare loads and
+// produce a new chare-to-PE assignment; the runtime handles migration.
+package lb
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+
+	"charmgo/internal/core"
+)
+
+// Greedy is the classic Charm++ GreedyLB: sort objects by decreasing load
+// and repeatedly assign the heaviest remaining object to the least-loaded
+// PE. It produces near-optimal balance at the cost of many migrations.
+type Greedy struct{}
+
+// Name implements core.LBStrategy.
+func (Greedy) Name() string { return "GreedyLB" }
+
+// Assign implements core.LBStrategy.
+func (Greedy) Assign(objs []core.LBObject, numPEs int) map[string]core.PE {
+	sorted := append([]core.LBObject(nil), objs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Load > sorted[j].Load })
+	h := newPEHeap(numPEs)
+	out := make(map[string]core.PE, len(objs))
+	for _, o := range sorted {
+		pe := h.lightest()
+		out[o.Key] = pe
+		h.add(pe, o.Load)
+	}
+	return out
+}
+
+// Refine is RefineLB: it keeps the current assignment and only moves objects
+// away from overloaded PEs (load > Tolerance × average) onto the least
+// loaded ones, minimizing migrations.
+type Refine struct {
+	// Tolerance is the overload threshold relative to the average PE load;
+	// values <= 1 mean 1.02 (the Charm++ default ballpark).
+	Tolerance float64
+}
+
+// Name implements core.LBStrategy.
+func (Refine) Name() string { return "RefineLB" }
+
+// Assign implements core.LBStrategy. Like Charm++'s RefineLB it repeatedly
+// relieves the currently heaviest PE, moving its objects onto the lightest
+// PE, until every PE is within tolerance or no move improves the balance.
+func (r Refine) Assign(objs []core.LBObject, numPEs int) map[string]core.PE {
+	tol := r.Tolerance
+	if tol <= 1 {
+		tol = 1.02
+	}
+	loads := make([]float64, numPEs)
+	perPE := make([][]core.LBObject, numPEs)
+	total := 0.0
+	for _, o := range objs {
+		loads[o.PE] += o.Load
+		perPE[o.PE] = append(perPE[o.PE], o)
+		total += o.Load
+	}
+	avg := total / float64(numPEs)
+	threshold := avg * tol
+	out := make(map[string]core.PE)
+	// Heaviest object first within each PE.
+	for pe := range perPE {
+		sort.SliceStable(perPE[pe], func(i, j int) bool { return perPE[pe][i].Load > perPE[pe][j].Load })
+	}
+	argmax := func() int {
+		best := 0
+		for q := 1; q < numPEs; q++ {
+			if loads[q] > loads[best] {
+				best = q
+			}
+		}
+		return best
+	}
+	argmin := func(exclude int) int {
+		best := -1
+		for q := 0; q < numPEs; q++ {
+			if q != exclude && (best < 0 || loads[q] < loads[best]) {
+				best = q
+			}
+		}
+		return best
+	}
+	for {
+		pe := argmax()
+		if loads[pe] <= threshold {
+			return out
+		}
+		moved := false
+		for i, o := range perPE[pe] {
+			dest := argmin(pe)
+			if dest < 0 || loads[dest]+o.Load >= loads[pe] {
+				continue // this move would not reduce the pair's maximum
+			}
+			out[o.Key] = core.PE(dest)
+			loads[pe] -= o.Load
+			loads[dest] += o.Load
+			perPE[pe] = append(perPE[pe][:i:i], perPE[pe][i+1:]...)
+			perPE[dest] = append(perPE[dest], o)
+			moved = true
+			break
+		}
+		if !moved {
+			return out
+		}
+	}
+}
+
+// Rotate shifts every object to the next PE; useful for exercising the
+// migration machinery in tests (Charm++'s RotateLB).
+type Rotate struct{}
+
+// Name implements core.LBStrategy.
+func (Rotate) Name() string { return "RotateLB" }
+
+// Assign implements core.LBStrategy.
+func (Rotate) Assign(objs []core.LBObject, numPEs int) map[string]core.PE {
+	out := make(map[string]core.PE, len(objs))
+	for _, o := range objs {
+		out[o.Key] = core.PE((int(o.PE) + 1) % numPEs)
+	}
+	return out
+}
+
+// Random assigns objects to uniformly random PEs (Charm++'s RandCentLB);
+// a baseline that ignores loads.
+type Random struct {
+	Seed int64
+}
+
+// Name implements core.LBStrategy.
+func (Random) Name() string { return "RandLB" }
+
+// Assign implements core.LBStrategy.
+func (r Random) Assign(objs []core.LBObject, numPEs int) map[string]core.PE {
+	rng := rand.New(rand.NewSource(r.Seed + 1))
+	sorted := append([]core.LBObject(nil), objs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	out := make(map[string]core.PE, len(objs))
+	for _, o := range sorted {
+		out[o.Key] = core.PE(rng.Intn(numPEs))
+	}
+	return out
+}
+
+// Null performs no migrations (Charm++'s NullLB / "lb off").
+type Null struct{}
+
+// Name implements core.LBStrategy.
+func (Null) Name() string { return "NullLB" }
+
+// Assign implements core.LBStrategy.
+func (Null) Assign(objs []core.LBObject, numPEs int) map[string]core.PE { return nil }
+
+// ---- helpers ----
+
+// MaxOverAvg returns the ratio of the maximum PE load to the average PE load
+// under the given assignment (1.0 is perfect balance). Exposed for tests and
+// the benchmark harness.
+func MaxOverAvg(objs []core.LBObject, assign map[string]core.PE, numPEs int) float64 {
+	loads := make([]float64, numPEs)
+	total := 0.0
+	for _, o := range objs {
+		pe := o.PE
+		if a, ok := assign[o.Key]; ok {
+			pe = a
+		}
+		loads[pe] += o.Load
+		total += o.Load
+	}
+	if total == 0 {
+		return 1
+	}
+	max := 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max / (total / float64(numPEs))
+}
+
+// peHeap is a min-heap of PE loads for GreedyLB.
+type peHeap struct {
+	load []float64
+	pe   []core.PE
+	pos  []int // pe -> heap index
+}
+
+func newPEHeap(n int) *peHeap {
+	h := &peHeap{load: make([]float64, n), pe: make([]core.PE, n), pos: make([]int, n)}
+	for i := 0; i < n; i++ {
+		h.pe[i] = core.PE(i)
+		h.pos[i] = i
+	}
+	return h
+}
+
+func (h *peHeap) Len() int { return len(h.pe) }
+func (h *peHeap) Less(i, j int) bool {
+	if h.load[i] != h.load[j] {
+		return h.load[i] < h.load[j]
+	}
+	return h.pe[i] < h.pe[j] // deterministic tie-break
+}
+func (h *peHeap) Swap(i, j int) {
+	h.load[i], h.load[j] = h.load[j], h.load[i]
+	h.pe[i], h.pe[j] = h.pe[j], h.pe[i]
+	h.pos[h.pe[i]], h.pos[h.pe[j]] = i, j
+}
+func (h *peHeap) Push(any) { panic("fixed-size heap") }
+func (h *peHeap) Pop() any { panic("fixed-size heap") }
+
+func (h *peHeap) lightest() core.PE { return h.pe[0] }
+
+func (h *peHeap) add(pe core.PE, load float64) {
+	i := h.pos[pe]
+	h.load[i] += load
+	heap.Fix(h, i)
+}

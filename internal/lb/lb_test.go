@@ -1,0 +1,191 @@
+package lb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"charmgo/internal/core"
+)
+
+func mkObjs(loads []float64, numPEs int) []core.LBObject {
+	objs := make([]core.LBObject, len(loads))
+	for i, l := range loads {
+		objs[i] = core.LBObject{Key: fmt.Sprintf("o%03d", i), PE: core.PE(i % numPEs), Load: l}
+	}
+	return objs
+}
+
+func TestGreedyBalancesSkewedLoad(t *testing.T) {
+	// one heavy object per "block", like the paper's imbalanced stencil
+	loads := []float64{100, 1, 1, 1, 100, 1, 1, 1, 100, 1, 1, 1, 100, 1, 1, 1}
+	objs := mkObjs(loads, 4)
+	// skew: all heavy objects on PE 0
+	for i := range objs {
+		if objs[i].Load > 10 {
+			objs[i].PE = 0
+		}
+	}
+	before := MaxOverAvg(objs, nil, 4)
+	assign := Greedy{}.Assign(objs, 4)
+	after := MaxOverAvg(objs, assign, 4)
+	if after >= before {
+		t.Errorf("greedy made balance worse: %.2f -> %.2f", before, after)
+	}
+	if after > 1.1 {
+		t.Errorf("greedy max/avg = %.3f, want near 1", after)
+	}
+}
+
+func TestGreedyAssignsEveryObject(t *testing.T) {
+	objs := mkObjs([]float64{5, 4, 3, 2, 1}, 2)
+	assign := Greedy{}.Assign(objs, 2)
+	if len(assign) != len(objs) {
+		t.Errorf("assigned %d of %d objects", len(assign), len(objs))
+	}
+	for k, pe := range assign {
+		if pe < 0 || int(pe) >= 2 {
+			t.Errorf("object %s assigned to invalid PE %d", k, pe)
+		}
+	}
+}
+
+func TestRefineMovesLessThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const nObj, nPE = 64, 8
+	loads := make([]float64, nObj)
+	for i := range loads {
+		loads[i] = rng.Float64() * 10
+	}
+	objs := mkObjs(loads, nPE)
+	objs[0].Load = 200 // one hot object
+	gr := Greedy{}.Assign(objs, nPE)
+	rf := Refine{}.Assign(objs, nPE)
+	grMoves, rfMoves := countMoves(objs, gr), countMoves(objs, rf)
+	if rfMoves > grMoves {
+		t.Errorf("refine moved %d objects, greedy %d — refine should move fewer", rfMoves, grMoves)
+	}
+	if after := MaxOverAvg(objs, rf, nPE); after > MaxOverAvg(objs, nil, nPE) {
+		t.Errorf("refine worsened balance")
+	}
+}
+
+func countMoves(objs []core.LBObject, assign map[string]core.PE) int {
+	n := 0
+	for _, o := range objs {
+		if dest, ok := assign[o.Key]; ok && dest != o.PE {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRotateShiftsAll(t *testing.T) {
+	objs := mkObjs([]float64{1, 2, 3, 4}, 4)
+	assign := Rotate{}.Assign(objs, 4)
+	for _, o := range objs {
+		want := core.PE((int(o.PE) + 1) % 4)
+		if assign[o.Key] != want {
+			t.Errorf("object %s: %d -> %d, want %d", o.Key, o.PE, assign[o.Key], want)
+		}
+	}
+}
+
+func TestNullMovesNothing(t *testing.T) {
+	if got := (Null{}).Assign(mkObjs([]float64{1, 2}, 2), 2); len(got) != 0 {
+		t.Errorf("null LB produced moves: %v", got)
+	}
+}
+
+func TestRandomIsDeterministicPerSeed(t *testing.T) {
+	objs := mkObjs([]float64{1, 2, 3, 4, 5}, 4)
+	a := Random{Seed: 7}.Assign(objs, 4)
+	b := Random{Seed: 7}.Assign(objs, 4)
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("same seed, different assignment for %s", k)
+		}
+	}
+}
+
+// Property: greedy assigns every object to a valid PE and achieves the
+// classic greedy-scheduling bound: max PE load <= average + largest object.
+func TestGreedyPropertyBound(t *testing.T) {
+	f := func(raw []uint8, nPE uint8) bool {
+		numPEs := int(nPE)%15 + 1
+		if len(raw) == 0 {
+			return true
+		}
+		loads := make([]float64, len(raw))
+		var total, largest float64
+		for i, r := range raw {
+			loads[i] = float64(r)
+			total += loads[i]
+			if loads[i] > largest {
+				largest = loads[i]
+			}
+		}
+		objs := mkObjs(loads, numPEs)
+		assign := Greedy{}.Assign(objs, numPEs)
+		if len(assign) != len(objs) {
+			return false
+		}
+		peLoads := make([]float64, numPEs)
+		for _, o := range objs {
+			pe := assign[o.Key]
+			if pe < 0 || int(pe) >= numPEs {
+				return false
+			}
+			peLoads[pe] += o.Load
+		}
+		avg := total / float64(numPEs)
+		for _, l := range peLoads {
+			if l > avg+largest+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: greedy's makespan is within 4/3 of the perfect average when the
+// largest object doesn't dominate (standard LPT-style bound; greedy here is
+// LPT since it sorts by decreasing load).
+func TestGreedyLPTBound(t *testing.T) {
+	f := func(raw []uint16, nPE uint8) bool {
+		numPEs := int(nPE)%7 + 2
+		if len(raw) < numPEs*2 {
+			return true
+		}
+		loads := make([]float64, len(raw))
+		var total, max float64
+		for i, r := range raw {
+			loads[i] = float64(r) + 1
+			total += loads[i]
+			if loads[i] > max {
+				max = loads[i]
+			}
+		}
+		objs := mkObjs(loads, numPEs)
+		assign := Greedy{}.Assign(objs, numPEs)
+		avg := total / float64(numPEs)
+		bound := avg*4/3 + max
+		peLoads := make([]float64, numPEs)
+		for _, o := range objs {
+			peLoads[assign[o.Key]] += o.Load
+		}
+		for _, l := range peLoads {
+			if l > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+package leanmd
+
+import (
+	"math"
+	"testing"
+
+	"charmgo/internal/core"
+	"charmgo/internal/lb"
+)
+
+func TestSequentialConservation(t *testing.T) {
+	p := DefaultParams()
+	p.Steps = 20
+	s, err := RunSequential(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Particles != p.NumCells()*p.PerCell {
+		t.Errorf("particles = %d, want %d", s.Particles, p.NumCells()*p.PerCell)
+	}
+	// total momentum starts at exactly zero per cell and LJ forces are
+	// pairwise equal-and-opposite, so it must stay ~0
+	if math.Abs(s.Px)+math.Abs(s.Py)+math.Abs(s.Pz) > 1e-9 {
+		t.Errorf("momentum drift: (%g, %g, %g)", s.Px, s.Py, s.Pz)
+	}
+}
+
+func TestAllPairsCount(t *testing.T) {
+	p := DefaultParams()
+	pairs := AllPairs(p)
+	// dims >= 3: every cell has 26 unique neighbors; each unordered
+	// neighbor pair counted once, plus one self pair per cell
+	nc := p.NumCells()
+	want := nc + nc*26/2
+	if len(pairs) != want {
+		t.Errorf("pairs = %d, want %d", len(pairs), want)
+	}
+	seen := map[string]bool{}
+	for _, pr := range pairs {
+		k := cellKey(pr[:3]) + "|" + cellKey(pr[3:])
+		if seen[k] {
+			t.Errorf("duplicate pair %v", pr)
+		}
+		seen[k] = true
+		if cellKey(pr[:3]) > cellKey(pr[3:]) {
+			t.Errorf("non-canonical pair %v", pr)
+		}
+	}
+}
+
+func TestNeighborsUnique(t *testing.T) {
+	p := Params{CX: 3, CY: 4, CZ: 5, PerCell: 1, DT: 1e-3, CellSize: 1}
+	n := neighborsOf(p, []int{0, 0, 0})
+	if len(n) != 26 {
+		t.Errorf("neighbors = %d, want 26", len(n))
+	}
+}
+
+func TestCharmMatchesSequential(t *testing.T) {
+	p := DefaultParams()
+	p.Steps = 8
+	want, err := RunSequential(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunCharm(p, core.Config{PEs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary.Particles != want.Particles {
+		t.Errorf("particles: charm %d, sequential %d", got.Summary.Particles, want.Particles)
+	}
+	// forces accumulate in different orders; allow small FP divergence
+	if relErr(got.Summary.KE, want.KE) > 1e-6 {
+		t.Errorf("KE: charm %g, sequential %g", got.Summary.KE, want.KE)
+	}
+	if math.Abs(got.Summary.Px)+math.Abs(got.Summary.Py)+math.Abs(got.Summary.Pz) > 1e-8 {
+		t.Errorf("charm momentum drift: %+v", got.Summary)
+	}
+}
+
+func relErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	s := math.Max(math.Abs(a), math.Abs(b))
+	if s == 0 {
+		return d
+	}
+	return d / s
+}
+
+func TestCharmWithAtomMigration(t *testing.T) {
+	p := DefaultParams()
+	p.Steps = 12
+	p.MigrateEvery = 3
+	p.DT = 0.05   // large steps...
+	p.InitVel = 4 // ...and fast atoms, so cells are actually crossed
+	got, err := RunCharm(p, core.Config{PEs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary.Particles != p.NumCells()*p.PerCell {
+		t.Errorf("atom migration lost particles: %d of %d",
+			got.Summary.Particles, p.NumCells()*p.PerCell)
+	}
+	want, _ := RunSequential(p)
+	if relErr(got.Summary.KE, want.KE) > 1e-5 {
+		t.Errorf("KE after migration: charm %g, sequential %g", got.Summary.KE, want.KE)
+	}
+}
+
+func TestCharmDynamicDispatch(t *testing.T) {
+	p := DefaultParams()
+	p.Steps = 4
+	want, _ := RunSequential(p)
+	got, err := RunCharm(p, core.Config{PEs: 2, Dispatch: core.DynamicDispatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(got.Summary.KE, want.KE) > 1e-6 {
+		t.Errorf("dynamic dispatch KE %g, want %g", got.Summary.KE, want.KE)
+	}
+}
+
+func TestCharmForceSerialize(t *testing.T) {
+	p := DefaultParams()
+	p.Steps = 4
+	want, _ := RunSequential(p)
+	got, err := RunCharm(p, core.Config{PEs: 2, ForceSerialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(got.Summary.KE, want.KE) > 1e-6 {
+		t.Errorf("force-serialize KE %g, want %g", got.Summary.KE, want.KE)
+	}
+}
+
+func TestValidateRejectsSmallDims(t *testing.T) {
+	p := DefaultParams()
+	p.CX = 2
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for 2-cell dimension")
+	}
+}
+
+func TestZeroStepRun(t *testing.T) {
+	p := DefaultParams()
+	p.Steps = 0
+	got, err := RunCharm(p, core.Config{PEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary.Particles != p.NumCells()*p.PerCell {
+		t.Errorf("zero-step run particles = %d", got.Summary.Particles)
+	}
+}
+
+func TestEnergyStability(t *testing.T) {
+	// KE must stay bounded (no numeric explosion) over a longer run
+	p := DefaultParams()
+	p.Steps = 40
+	s0, _ := RunSequential(Params{CX: 3, CY: 3, CZ: 3, PerCell: p.PerCell, Steps: 1, DT: p.DT, CellSize: p.CellSize})
+	s, err := RunSequential(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.KE > 1000*math.Max(s0.KE, 1e-6) {
+		t.Errorf("kinetic energy exploded: step1 %g -> step40 %g", s0.KE, s.KE)
+	}
+}
+
+func TestCharmWithLoadBalancing(t *testing.T) {
+	// Cells migrate via AtSync LB mid-run: physics must be unaffected and
+	// state (particles, proxies, futures) must survive the moves.
+	p := DefaultParams()
+	p.Steps = 12
+	p.LBPeriod = 4
+	p.MigrateEvery = 6
+	want, err := RunSequential(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunCharm(p, core.Config{PEs: 4, LB: lb.Greedy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary.Particles != want.Particles {
+		t.Errorf("LB run lost particles: %d vs %d", got.Summary.Particles, want.Particles)
+	}
+	if relErr(got.Summary.KE, want.KE) > 1e-6 {
+		t.Errorf("LB run KE %g, sequential %g", got.Summary.KE, want.KE)
+	}
+	// rotation strategy forces every cell to move every round
+	got2, err := RunCharm(p, core.Config{PEs: 4, LB: lb.Rotate{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(got2.Summary.KE, want.KE) > 1e-6 {
+		t.Errorf("rotate-LB run KE %g, sequential %g", got2.Summary.KE, want.KE)
+	}
+}

@@ -1,0 +1,171 @@
+package pool
+
+import (
+	"testing"
+	"time"
+
+	"charmgo/internal/core"
+)
+
+func init() {
+	RegisterFunc("square", func(t any) any { return t.(int) * t.(int) })
+	RegisterFunc("slow_square", func(t any) any {
+		n := t.(int)
+		// simulate disparate task costs (heavier for larger inputs)
+		time.Sleep(time.Duration(n) * time.Millisecond)
+		return n * n
+	})
+	RegisterFunc("negate", func(t any) any { return -t.(int) })
+}
+
+func runPoolJob(t *testing.T, pes int, entry func(self *core.Chare)) {
+	t.Helper()
+	rt := core.NewRuntime(core.Config{PEs: pes})
+	Register(rt)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rt.Start(func(self *core.Chare) {
+			defer self.Exit()
+			entry(self)
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("pool job did not complete")
+	}
+}
+
+func TestMapBasic(t *testing.T) {
+	runPoolJob(t, 4, func(self *core.Chare) {
+		p := New(self)
+		tasks := []any{1, 2, 3, 4, 5}
+		res := p.Map(self, "square", 2, tasks)
+		want := []int{1, 4, 9, 16, 25}
+		if len(res) != len(want) {
+			t.Fatalf("got %d results", len(res))
+		}
+		for i, w := range want {
+			if res[i] != w {
+				t.Errorf("res[%d] = %v, want %d", i, res[i], w)
+			}
+		}
+	})
+}
+
+func TestConcurrentJobs(t *testing.T) {
+	// The paper's headline demo: two independent map jobs in flight at once.
+	runPoolJob(t, 5, func(self *core.Chare) {
+		p := New(self)
+		tasks1 := []any{1, 2, 3, 4, 5}
+		tasks2 := []any{1, 3, 5, 7, 9}
+		f1 := p.MapAsync(self, "square", 2, tasks1)
+		f2 := p.MapAsync(self, "negate", 2, tasks2)
+		r1 := f1.Get().([]any)
+		r2 := f2.Get().([]any)
+		for i, task := range tasks1 {
+			if r1[i] != task.(int)*task.(int) {
+				t.Errorf("job1[%d] = %v", i, r1[i])
+			}
+		}
+		for i, task := range tasks2 {
+			if r2[i] != -task.(int) {
+				t.Errorf("job2[%d] = %v", i, r2[i])
+			}
+		}
+	})
+}
+
+func TestDynamicBalancingWithUnevenTasks(t *testing.T) {
+	// More tasks than workers with disparate costs: the pull-based master
+	// must distribute all of them and preserve result order.
+	runPoolJob(t, 3, func(self *core.Chare) {
+		p := New(self)
+		tasks := make([]any, 12)
+		for i := range tasks {
+			tasks[i] = (i * 7) % 13 // uneven sleep times
+		}
+		res := p.Map(self, "slow_square", 2, tasks)
+		for i, task := range tasks {
+			n := task.(int)
+			if res[i] != n*n {
+				t.Errorf("res[%d] = %v, want %d", i, res[i], n*n)
+			}
+		}
+	})
+}
+
+func TestSequentialJobsReuseFreedPEs(t *testing.T) {
+	runPoolJob(t, 3, func(self *core.Chare) {
+		p := New(self)
+		for round := 0; round < 4; round++ {
+			res := p.Map(self, "square", 2, []any{round, round + 1})
+			if res[0] != round*round {
+				t.Errorf("round %d: %v", round, res[0])
+			}
+		}
+	})
+}
+
+func TestSinglePEPool(t *testing.T) {
+	runPoolJob(t, 1, func(self *core.Chare) {
+		p := New(self)
+		res := p.Map(self, "square", 1, []any{6})
+		if res[0] != 36 {
+			t.Errorf("res = %v", res)
+		}
+	})
+}
+
+func TestMapChunked(t *testing.T) {
+	runPoolJob(t, 4, func(self *core.Chare) {
+		p := New(self)
+		tasks := make([]any, 23)
+		for i := range tasks {
+			tasks[i] = i
+		}
+		res := p.MapChunked(self, "square", 3, tasks, 4)
+		if len(res) != len(tasks) {
+			t.Fatalf("chunked map returned %d results", len(res))
+		}
+		for i := range tasks {
+			if res[i] != i*i {
+				t.Errorf("res[%d] = %v, want %d", i, res[i], i*i)
+			}
+		}
+	})
+}
+
+func TestMapChunkedEdgeSizes(t *testing.T) {
+	runPoolJob(t, 3, func(self *core.Chare) {
+		p := New(self)
+		tasks := []any{1, 2, 3}
+		// chunk size 1 (degenerate), larger than input, and zero (clamped)
+		for _, cs := range []int{1, 10, 0} {
+			res := p.MapChunked(self, "square", 2, tasks, cs)
+			for i, task := range []int{1, 2, 3} {
+				if res[i] != task*task {
+					t.Errorf("chunk=%d res[%d] = %v", cs, i, res[i])
+				}
+			}
+		}
+	})
+}
+
+func TestChunkedMatchesUnchunked(t *testing.T) {
+	runPoolJob(t, 4, func(self *core.Chare) {
+		p := New(self)
+		tasks := make([]any, 17)
+		for i := range tasks {
+			tasks[i] = i + 1
+		}
+		a := p.Map(self, "negate", 3, tasks)
+		b := p.MapChunked(self, "negate", 3, tasks, 5)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("results differ at %d: %v vs %v", i, a[i], b[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,354 @@
+// Package ser implements argument and message serialization for the charmgo
+// runtime. It plays the role that pickle plus the NumPy-array fast path play
+// in CharmPy (paper section IV-B):
+//
+//   - Contiguous numeric buffers ([]float64, []int64, []byte, ...) are copied
+//     directly into the message with a small type header, bypassing the
+//     general-purpose serializer entirely.
+//   - Primitive scalars (bool, ints, floats, strings) have compact direct
+//     encodings.
+//   - Everything else falls back to encoding/gob (the pickle analog), which
+//     handles arbitrary registered Go types, at a cost.
+//
+// The wire format for an argument list is:
+//
+//	uvarint(count) then per argument: tag byte + tag-specific payload.
+package ser
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+)
+
+// Argument type tags.
+const (
+	tagNil byte = iota
+	tagFalse
+	tagTrue
+	tagInt   // varint, decoded as int
+	tagInt64 // varint, decoded as int64
+	tagFloat64
+	tagString
+	tagBytes
+	tagF64Slice
+	tagF32Slice
+	tagI64Slice
+	tagI32Slice
+	tagIntSlice // []int encoded as 64-bit values
+	tagGob      // gob-encoded payload (pickle analog)
+)
+
+// RegisterType registers a concrete type with the gob fallback codec so that
+// values of that type can cross node boundaries inside interface arguments.
+// It is safe to call multiple times with the same type.
+func RegisterType(v any) {
+	defer func() { recover() }() // gob panics on duplicate names; ignore
+	gob.Register(v)
+}
+
+// EncodeArgs appends the encoded argument list to buf.
+func EncodeArgs(buf *bytes.Buffer, args []any) error {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(args)))
+	buf.Write(tmp[:n])
+	for i, a := range args {
+		if err := encodeOne(buf, a); err != nil {
+			return fmt.Errorf("arg %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func putVarint(buf *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func encodeOne(buf *bytes.Buffer, a any) error {
+	switch v := a.(type) {
+	case nil:
+		buf.WriteByte(tagNil)
+	case bool:
+		if v {
+			buf.WriteByte(tagTrue)
+		} else {
+			buf.WriteByte(tagFalse)
+		}
+	case int:
+		buf.WriteByte(tagInt)
+		putVarint(buf, int64(v))
+	case int64:
+		buf.WriteByte(tagInt64)
+		putVarint(buf, v)
+	case float64:
+		buf.WriteByte(tagFloat64)
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		buf.Write(b[:])
+	case string:
+		buf.WriteByte(tagString)
+		putUvarint(buf, uint64(len(v)))
+		buf.WriteString(v)
+	case []byte:
+		buf.WriteByte(tagBytes)
+		putUvarint(buf, uint64(len(v)))
+		buf.Write(v)
+	case []float64:
+		buf.WriteByte(tagF64Slice)
+		putUvarint(buf, uint64(len(v)))
+		writeF64s(buf, v)
+	case []float32:
+		buf.WriteByte(tagF32Slice)
+		putUvarint(buf, uint64(len(v)))
+		var b [4]byte
+		for _, f := range v {
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(f))
+			buf.Write(b[:])
+		}
+	case []int64:
+		buf.WriteByte(tagI64Slice)
+		putUvarint(buf, uint64(len(v)))
+		var b [8]byte
+		for _, x := range v {
+			binary.LittleEndian.PutUint64(b[:], uint64(x))
+			buf.Write(b[:])
+		}
+	case []int32:
+		buf.WriteByte(tagI32Slice)
+		putUvarint(buf, uint64(len(v)))
+		var b [4]byte
+		for _, x := range v {
+			binary.LittleEndian.PutUint32(b[:], uint32(x))
+			buf.Write(b[:])
+		}
+	case []int:
+		buf.WriteByte(tagIntSlice)
+		putUvarint(buf, uint64(len(v)))
+		var b [8]byte
+		for _, x := range v {
+			binary.LittleEndian.PutUint64(b[:], uint64(x))
+			buf.Write(b[:])
+		}
+	default:
+		// gob fallback (pickle analog)
+		buf.WriteByte(tagGob)
+		var gb bytes.Buffer
+		enc := gob.NewEncoder(&gb)
+		if err := enc.Encode(&a); err != nil {
+			return fmt.Errorf("gob encode %T: %w", a, err)
+		}
+		putUvarint(buf, uint64(gb.Len()))
+		buf.Write(gb.Bytes())
+	}
+	return nil
+}
+
+func writeF64s(buf *bytes.Buffer, v []float64) {
+	var b [8]byte
+	for _, f := range v {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		buf.Write(b[:])
+	}
+}
+
+// DecodeArgs decodes an argument list produced by EncodeArgs and returns the
+// arguments and the number of bytes consumed.
+func DecodeArgs(data []byte) ([]any, int, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("bad argument count")
+	}
+	pos := n
+	args := make([]any, 0, count)
+	for i := uint64(0); i < count; i++ {
+		a, used, err := decodeOne(data[pos:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("arg %d: %w", i, err)
+		}
+		pos += used
+		args = append(args, a)
+	}
+	return args, pos, nil
+}
+
+func decodeOne(data []byte) (any, int, error) {
+	if len(data) == 0 {
+		return nil, 0, fmt.Errorf("truncated argument")
+	}
+	tag := data[0]
+	pos := 1
+	need := func(k int) error {
+		if len(data) < pos+k {
+			return fmt.Errorf("truncated payload (tag %d)", tag)
+		}
+		return nil
+	}
+	readLen := func() (int, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("bad length (tag %d)", tag)
+		}
+		pos += n
+		if v > uint64(len(data)) {
+			return 0, fmt.Errorf("length %d exceeds data (tag %d)", v, tag)
+		}
+		return int(v), nil
+	}
+	switch tag {
+	case tagNil:
+		return nil, pos, nil
+	case tagFalse:
+		return false, pos, nil
+	case tagTrue:
+		return true, pos, nil
+	case tagInt:
+		v, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("bad varint")
+		}
+		return int(v), pos + n, nil
+	case tagInt64:
+		v, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("bad varint")
+		}
+		return v, pos + n, nil
+	case tagFloat64:
+		if err := need(8); err != nil {
+			return nil, 0, err
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+		return v, pos + 8, nil
+	case tagString:
+		l, err := readLen()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := need(l); err != nil {
+			return nil, 0, err
+		}
+		return string(data[pos : pos+l]), pos + l, nil
+	case tagBytes:
+		l, err := readLen()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := need(l); err != nil {
+			return nil, 0, err
+		}
+		out := make([]byte, l)
+		copy(out, data[pos:pos+l])
+		return out, pos + l, nil
+	case tagF64Slice:
+		l, err := readLen()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := need(8 * l); err != nil {
+			return nil, 0, err
+		}
+		out := make([]float64, l)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[pos+8*i:]))
+		}
+		return out, pos + 8*l, nil
+	case tagF32Slice:
+		l, err := readLen()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := need(4 * l); err != nil {
+			return nil, 0, err
+		}
+		out := make([]float32, l)
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[pos+4*i:]))
+		}
+		return out, pos + 4*l, nil
+	case tagI64Slice:
+		l, err := readLen()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := need(8 * l); err != nil {
+			return nil, 0, err
+		}
+		out := make([]int64, l)
+		for i := range out {
+			out[i] = int64(binary.LittleEndian.Uint64(data[pos+8*i:]))
+		}
+		return out, pos + 8*l, nil
+	case tagI32Slice:
+		l, err := readLen()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := need(4 * l); err != nil {
+			return nil, 0, err
+		}
+		out := make([]int32, l)
+		for i := range out {
+			out[i] = int32(binary.LittleEndian.Uint32(data[pos+4*i:]))
+		}
+		return out, pos + 4*l, nil
+	case tagIntSlice:
+		l, err := readLen()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := need(8 * l); err != nil {
+			return nil, 0, err
+		}
+		out := make([]int, l)
+		for i := range out {
+			out[i] = int(int64(binary.LittleEndian.Uint64(data[pos+8*i:])))
+		}
+		return out, pos + 8*l, nil
+	case tagGob:
+		l, err := readLen()
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := need(l); err != nil {
+			return nil, 0, err
+		}
+		var out any
+		dec := gob.NewDecoder(bytes.NewReader(data[pos : pos+l]))
+		if err := dec.Decode(&out); err != nil {
+			return nil, 0, fmt.Errorf("gob decode: %w", err)
+		}
+		return out, pos + l, nil
+	}
+	return nil, 0, fmt.Errorf("unknown tag %d", tag)
+}
+
+// EncodeValue gob-encodes a single value (used for chare migration payloads,
+// analogous to pickling a chare in CharmPy).
+func EncodeValue(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(&v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeValue reverses EncodeValue.
+func DecodeValue(data []byte) (any, error) {
+	var out any
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

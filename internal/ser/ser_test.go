@@ -1,0 +1,203 @@
+package ser
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundtrip(t *testing.T, args []any) []any {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeArgs(&buf, args); err != nil {
+		t.Fatalf("encode %v: %v", args, err)
+	}
+	out, n, err := DecodeArgs(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != buf.Len() {
+		t.Fatalf("decode consumed %d of %d bytes", n, buf.Len())
+	}
+	return out
+}
+
+func TestScalarRoundtrip(t *testing.T) {
+	args := []any{
+		nil, true, false, 42, int64(-7), 3.14159, "hello", "",
+		int(math.MaxInt64 - 1), -1,
+	}
+	out := roundtrip(t, args)
+	if !reflect.DeepEqual(args, out) {
+		t.Errorf("roundtrip mismatch:\n got %#v\nwant %#v", out, args)
+	}
+}
+
+func TestSliceRoundtrip(t *testing.T) {
+	args := []any{
+		[]byte{1, 2, 3},
+		[]float64{1.5, -2.5, math.Inf(1)},
+		[]float32{0.5, -0.25},
+		[]int64{-1, 0, 1},
+		[]int32{7, -8},
+		[]int{100, -200, 300},
+	}
+	out := roundtrip(t, args)
+	if !reflect.DeepEqual(args, out) {
+		t.Errorf("roundtrip mismatch:\n got %#v\nwant %#v", out, args)
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	args := []any{[]float64{}, []byte{}, []int{}}
+	out := roundtrip(t, args)
+	for i, a := range out {
+		if reflect.ValueOf(a).Len() != 0 {
+			t.Errorf("arg %d: got %#v", i, a)
+		}
+	}
+}
+
+type custom struct {
+	Name  string
+	Score float64
+	Tags  []string
+}
+
+func TestGobFallback(t *testing.T) {
+	RegisterType(custom{})
+	RegisterType(map[string]int{})
+	args := []any{custom{Name: "x", Score: 1.5, Tags: []string{"a", "b"}}, map[string]int{"k": 3}}
+	out := roundtrip(t, args)
+	if !reflect.DeepEqual(args, out) {
+		t.Errorf("gob roundtrip mismatch:\n got %#v\nwant %#v", out, args)
+	}
+}
+
+func TestZeroArgs(t *testing.T) {
+	out := roundtrip(t, nil)
+	if len(out) != 0 {
+		t.Errorf("got %v", out)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeArgs(&buf, []any{[]float64{1, 2, 3}, "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := DecodeArgs(full[:cut]); err == nil {
+			// Some prefixes are self-consistent (e.g. fewer args); only the
+			// arg count making it inconsistent must error. Verify we at
+			// least never panic and never return more args than encoded.
+			out, _, _ := DecodeArgs(full[:cut])
+			if len(out) > 2 {
+				t.Fatalf("cut %d: decoded %d args", cut, len(out))
+			}
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	garbage := [][]byte{
+		{}, {0xff}, {0x02, 0xff}, {0x01, 99}, {0x01, 13, 0xff, 0xff},
+	}
+	for _, g := range garbage {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("DecodeArgs(%v) panicked: %v", g, r)
+				}
+			}()
+			DecodeArgs(g)
+		}()
+	}
+}
+
+func TestEncodeValueRoundtrip(t *testing.T) {
+	RegisterType(custom{})
+	b, err := EncodeValue(custom{Name: "migrate", Score: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := DecodeValue(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := v.(custom)
+	if !ok || c.Name != "migrate" {
+		t.Errorf("got %#v", v)
+	}
+}
+
+// Property: float64 slices round-trip exactly (bit-level).
+func TestF64SliceProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		out := roundtripQ([]any{vals})
+		if out == nil {
+			return false
+		}
+		got, ok := out[0].([]float64)
+		if !ok {
+			return vals == nil && out[0] != nil == false
+		}
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mixed scalar tuples round-trip with types preserved.
+func TestMixedArgsProperty(t *testing.T) {
+	f := func(i int, i64 int64, fl float64, s string, b bool, bs []byte) bool {
+		args := []any{i, i64, fl, s, b, bs}
+		out := roundtripQ(args)
+		if out == nil || len(out) != len(args) {
+			return false
+		}
+		if out[0] != i || out[1] != i64 || out[3] != s || out[4] != b {
+			return false
+		}
+		if f2, ok := out[2].(float64); !ok || math.Float64bits(f2) != math.Float64bits(fl) {
+			return false
+		}
+		got := out[5].([]byte)
+		if len(got) != len(bs) {
+			return false
+		}
+		for k := range bs {
+			if got[k] != bs[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func roundtripQ(args []any) []any {
+	var buf bytes.Buffer
+	if err := EncodeArgs(&buf, args); err != nil {
+		return nil
+	}
+	out, _, err := DecodeArgs(buf.Bytes())
+	if err != nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package simcluster
+
+import (
+	"fmt"
+)
+
+// LeanMDConfig describes a simulated LeanMD run (paper figure 4): cells in a
+// 3D grid interact through pairwise computes, hundreds of chares per PE.
+type LeanMDConfig struct {
+	Machine Machine
+	// Cells per dimension (periodic box, >= 3 each).
+	Cells [3]int
+	// PerCell is the particle count per cell.
+	PerCell int
+	Steps   int
+	// PairCostSec is the calibrated cost of one particle-pair LJ evaluation.
+	PairCostSec float64
+	// IntegrateCostSec is the per-particle integration cost.
+	IntegrateCostSec float64
+}
+
+// LeanMDResult is the simulated outcome.
+type LeanMDResult struct {
+	PEs           int
+	Cells         int
+	Computes      int
+	TimePerStepMS float64
+	WallSeconds   float64
+	Utilization   float64
+	Events        int64
+}
+
+type simCell struct {
+	id    int
+	pe    int
+	pairs []int // compute ids this cell participates in
+	step  int
+	got   map[int]int
+}
+
+type simCompute struct {
+	id   int
+	pe   int
+	a, b int // participating cell ids (a == b for self computes)
+	step int
+	busy bool
+	got  map[int]int
+	cost float64
+}
+
+type leanmdSim struct {
+	cfg        LeanMDConfig
+	sim        *Sim
+	cells      []*simCell
+	computes   []*simCompute
+	coordBytes float64
+	nDone      int
+	finish     float64
+}
+
+// RunLeanMD simulates the configured run.
+func RunLeanMD(cfg LeanMDConfig) LeanMDResult {
+	cx, cy, cz := cfg.Cells[0], cfg.Cells[1], cfg.Cells[2]
+	if cx < 3 || cy < 3 || cz < 3 {
+		panic("simcluster: LeanMD needs >= 3 cells per dimension")
+	}
+	nc := cx * cy * cz
+	ls := &leanmdSim{cfg: cfg, sim: NewSim(cfg.Machine.PEs)}
+	ls.coordBytes = float64(cfg.PerCell * 24)
+	cellID := func(x, y, z int) int {
+		return ((x+cx)%cx*cy+(y+cy)%cy)*cz + (z+cz)%cz
+	}
+	for id := 0; id < nc; id++ {
+		ls.cells = append(ls.cells, &simCell{
+			id: id, pe: id * cfg.Machine.PEs / nc, got: map[int]int{},
+		})
+	}
+	// canonical adjacent pairs (including self pairs), like leanmd.AllPairs
+	seen := map[[2]int]bool{}
+	perPair := float64(cfg.PerCell*cfg.PerCell) * cfg.PairCostSec
+	for x := 0; x < cx; x++ {
+		for y := 0; y < cy; y++ {
+			for z := 0; z < cz; z++ {
+				a := cellID(x, y, z)
+				addPair(ls, seen, a, a, perPair/2)
+				for dx := -1; dx <= 1; dx++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dz := -1; dz <= 1; dz++ {
+							if dx == 0 && dy == 0 && dz == 0 {
+								continue
+							}
+							b := cellID(x+dx, y+dy, z+dz)
+							if b != a {
+								addPair(ls, seen, a, b, perPair)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, c := range ls.cells {
+		ls.sendCoords(c)
+	}
+	ls.sim.Run()
+	if ls.nDone != nc {
+		panic(fmt.Sprintf("simcluster: LeanMD deadlock: %d of %d cells finished", ls.nDone, nc))
+	}
+	return LeanMDResult{
+		PEs:           cfg.Machine.PEs,
+		Cells:         nc,
+		Computes:      len(ls.computes),
+		WallSeconds:   ls.finish,
+		TimePerStepMS: ls.finish / float64(cfg.Steps) * 1000,
+		Utilization:   ls.sim.Utilization(),
+		Events:        ls.sim.Events(),
+	}
+}
+
+func addPair(ls *leanmdSim, seen map[[2]int]bool, a, b int, cost float64) {
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]int{a, b}
+	if seen[key] {
+		ls.linkCellToPair(a, b)
+		return
+	}
+	seen[key] = true
+	id := len(ls.computes)
+	// computes placed by hash of the pair, like the runtime's sparse-array
+	// home assignment
+	h := uint64(a)*2654435761 ^ uint64(b)*40503
+	k := &simCompute{id: id, pe: int(h % uint64(ls.cfg.Machine.PEs)), a: a, b: b,
+		got: map[int]int{}, cost: cost}
+	ls.computes = append(ls.computes, k)
+	ls.cells[a].pairs = append(ls.cells[a].pairs, id)
+	if b != a {
+		ls.cells[b].pairs = append(ls.cells[b].pairs, id)
+	}
+}
+
+// linkCellToPair is a no-op retained for symmetry; pairs register both cells
+// at creation.
+func (ls *leanmdSim) linkCellToPair(a, b int) {}
+
+func (ls *leanmdSim) sendCoords(c *simCell) {
+	for _, kid := range c.pairs {
+		k := ls.computes[kid]
+		step := c.step
+		ls.cfg.Machine.SendMsg(ls.sim, c.pe, k.pe, ls.coordBytes, func() {
+			ls.recvCoords(k, step)
+		})
+	}
+}
+
+func (ls *leanmdSim) recvCoords(k *simCompute, step int) {
+	k.got[step]++
+	ls.maybeRunPair(k)
+}
+
+func (ls *leanmdSim) maybeRunPair(k *simCompute) {
+	need := 2
+	if k.a == k.b {
+		need = 1
+	}
+	if k.busy || k.got[k.step] < need {
+		return
+	}
+	k.busy = true
+	step := k.step
+	delete(k.got, step)
+	ls.sim.PEWork(k.pe, ls.sim.Now(), k.cost, func() {
+		k.busy = false
+		k.step++
+		ca, cb := ls.cells[k.a], ls.cells[k.b]
+		ls.cfg.Machine.SendMsg(ls.sim, k.pe, ca.pe, ls.coordBytes, func() {
+			ls.recvForces(ca, step)
+		})
+		if k.b != k.a {
+			ls.cfg.Machine.SendMsg(ls.sim, k.pe, cb.pe, ls.coordBytes, func() {
+				ls.recvForces(cb, step)
+			})
+		}
+		// coords for the next step may already be waiting
+		ls.maybeRunPair(k)
+	})
+}
+
+func (ls *leanmdSim) recvForces(c *simCell, step int) {
+	if step != c.step {
+		panic("simcluster: LeanMD force for wrong step")
+	}
+	c.got[step]++
+	if c.got[step] < len(c.pairs) {
+		return
+	}
+	delete(c.got, step)
+	d := float64(ls.cfg.PerCell) * ls.cfg.IntegrateCostSec
+	ls.sim.PEWork(c.pe, ls.sim.Now(), d, func() {
+		c.step++
+		if c.step >= ls.cfg.Steps {
+			ls.nDone++
+			if t := ls.sim.Now(); t > ls.finish {
+				ls.finish = t
+			}
+			return
+		}
+		ls.sendCoords(c)
+	})
+}

@@ -1,0 +1,164 @@
+// Package simcluster is a discrete-event simulator of a cluster executing
+// charmgo/MPI application patterns. It regenerates the paper's large-scale
+// figures (Blue Waters and Cori runs at up to 65k cores, paper section V)
+// on a single development machine:
+//
+//   - PEs are simulated resources executing one task at a time.
+//   - The network follows a LogGP-style model: message time =
+//     latency + bytes/bandwidth, plus per-message CPU overheads on the
+//     sending and receiving PE.
+//   - The per-message overheads and kernel costs are *calibrated* from real
+//     measurements of this repository's runtime (static dispatch models
+//     Charm++, dynamic dispatch models CharmPy, the mini-MPI baseline
+//     models mpi4py), so the simulated gaps between implementations derive
+//     from measured constants, not hand-tuning.
+//
+// The application patterns (stencil3d halo exchange, LeanMD cell/compute
+// interaction, AtSync load balancing) mirror the real implementations in
+// internal/stencil and internal/leanmd.
+package simcluster
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled simulator callback.
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Sim is a sequential discrete-event simulator with PE resources.
+type Sim struct {
+	now     float64
+	seq     int64
+	events  eventHeap
+	peFree  []float64 // time each PE becomes idle
+	peBusy  []float64 // accumulated busy time per PE (utilization)
+	nEvents int64
+}
+
+// NewSim creates a simulator with numPEs processing elements.
+func NewSim(numPEs int) *Sim {
+	return &Sim{peFree: make([]float64, numPEs), peBusy: make([]float64, numPEs)}
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// NumPEs returns the simulated PE count.
+func (s *Sim) NumPEs() int { return len(s.peFree) }
+
+// At schedules fn at absolute time t (>= now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("simcluster: scheduling into the past (%g < %g)", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{t: t, seq: s.seq, fn: fn})
+}
+
+// PEWork occupies PE for duration d starting no earlier than `after` (and no
+// earlier than the PE's current availability), then calls fn (which may be
+// nil). It returns the completion time.
+func (s *Sim) PEWork(pe int, after, d float64, fn func()) float64 {
+	start := s.peFree[pe]
+	if after > start {
+		start = after
+	}
+	if s.now > start {
+		start = s.now
+	}
+	end := start + d
+	s.peFree[pe] = end
+	s.peBusy[pe] += d
+	if fn != nil {
+		s.At(end, fn)
+	}
+	return end
+}
+
+// Run processes events until the queue drains; it returns the final time.
+func (s *Sim) Run() float64 {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.t
+		s.nEvents++
+		e.fn()
+	}
+	return s.now
+}
+
+// Events returns the number of events processed (diagnostics).
+func (s *Sim) Events() int64 { return s.nEvents }
+
+// Utilization returns average PE busy fraction over the elapsed time.
+func (s *Sim) Utilization() float64 {
+	if s.now == 0 {
+		return 0
+	}
+	var busy float64
+	for _, b := range s.peBusy {
+		busy += b
+	}
+	return busy / (s.now * float64(len(s.peFree)))
+}
+
+// Machine models the simulated cluster and the runtime implementation
+// running on it.
+type Machine struct {
+	PEs int
+	// Network (LogGP-ish): per-message latency and point-to-point bandwidth.
+	LatencySec  float64
+	BytesPerSec float64
+	// Per-message CPU overheads of the runtime implementation: time spent on
+	// the sending/receiving PE for every message (scheduling, dispatch,
+	// serialization bookkeeping). These are the calibrated constants that
+	// distinguish Charm++ (static), CharmPy (dynamic), and MPI.
+	SendOverheadSec float64
+	RecvOverheadSec float64
+	// PerByteCPUSec adds copy/serialization CPU cost proportional to size.
+	PerByteCPUSec float64
+}
+
+// SendMsg models PE src sending `bytes` to PE dst at the current simulated
+// time: the sender pays the per-message overhead, the wire adds latency and
+// bandwidth delay, and the receiver pays its overhead before deliver runs.
+// Messages within the same PE skip the wire but still pay dispatch overhead.
+func (m Machine) SendMsg(s *Sim, src, dst int, bytes float64, deliver func()) {
+	cpu := m.SendOverheadSec + m.PerByteCPUSec*bytes
+	sendDone := s.PEWork(src, s.now, cpu, nil)
+	arrive := sendDone
+	if src != dst {
+		arrive = sendDone + m.LatencySec + bytes/m.BytesPerSec
+	}
+	s.At(arrive, func() {
+		s.PEWork(dst, s.now, m.RecvOverheadSec+m.PerByteCPUSec*bytes, deliver)
+	})
+}
+
+// CrayLike returns network constants representative of the paper's Cray
+// XE/XC interconnects (Gemini/Aries): ~1.5 us latency, ~8 GB/s per-PE
+// bandwidth. The runtime overheads must be filled from a Calibration.
+func CrayLike(pes int) Machine {
+	return Machine{
+		PEs:         pes,
+		LatencySec:  1.5e-6,
+		BytesPerSec: 8e9,
+	}
+}

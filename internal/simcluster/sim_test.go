@@ -1,0 +1,246 @@
+package simcluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"charmgo/internal/lb"
+)
+
+func TestSimOrdering(t *testing.T) {
+	s := NewSim(1)
+	var order []int
+	s.At(2.0, func() { order = append(order, 2) })
+	s.At(1.0, func() { order = append(order, 1) })
+	s.At(1.0, func() { order = append(order, 11) }) // same time: FIFO by seq
+	s.At(3.0, func() { order = append(order, 3) })
+	end := s.Run()
+	if end != 3.0 {
+		t.Errorf("end time %v", end)
+	}
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPESerialization(t *testing.T) {
+	s := NewSim(1)
+	var ends []float64
+	s.At(0, func() {
+		// two 1-second tasks on the same PE must serialize
+		s.PEWork(0, 0, 1.0, func() { ends = append(ends, s.Now()) })
+		s.PEWork(0, 0, 1.0, func() { ends = append(ends, s.Now()) })
+	})
+	s.Run()
+	if len(ends) != 2 || ends[0] != 1.0 || ends[1] != 2.0 {
+		t.Errorf("ends = %v, want [1 2]", ends)
+	}
+}
+
+func TestPEWorkParallelAcrossPEs(t *testing.T) {
+	s := NewSim(2)
+	var ends []float64
+	s.At(0, func() {
+		s.PEWork(0, 0, 1.0, func() { ends = append(ends, s.Now()) })
+		s.PEWork(1, 0, 1.0, func() { ends = append(ends, s.Now()) })
+	})
+	s.Run()
+	if len(ends) != 2 || ends[0] != 1.0 || ends[1] != 1.0 {
+		t.Errorf("ends = %v, want [1 1]", ends)
+	}
+}
+
+func TestSendMsgTiming(t *testing.T) {
+	m := Machine{PEs: 2, LatencySec: 1e-3, BytesPerSec: 1e6,
+		SendOverheadSec: 1e-4, RecvOverheadSec: 2e-4}
+	s := NewSim(2)
+	var deliveredAt float64
+	s.At(0, func() {
+		m.SendMsg(s, 0, 1, 1000, func() { deliveredAt = s.Now() })
+	})
+	s.Run()
+	// send overhead 1e-4 + latency 1e-3 + 1000/1e6=1e-3 + recv 2e-4
+	want := 1e-4 + 1e-3 + 1e-3 + 2e-4
+	if math.Abs(deliveredAt-want) > 1e-12 {
+		t.Errorf("delivered at %g, want %g", deliveredAt, want)
+	}
+}
+
+func TestSendMsgSamePESkipsWire(t *testing.T) {
+	m := Machine{PEs: 1, LatencySec: 1, BytesPerSec: 1, SendOverheadSec: 1e-4, RecvOverheadSec: 1e-4}
+	s := NewSim(1)
+	var at float64
+	s.At(0, func() { m.SendMsg(s, 0, 0, 1e6, func() { at = s.Now() }) })
+	s.Run()
+	if at > 1e-3 {
+		t.Errorf("same-PE message paid wire costs: delivered at %g", at)
+	}
+}
+
+func defaultStencil(pes, blocksPerPE, iters int, im Impl) StencilConfig {
+	cal := Default()
+	return StencilConfig{
+		Machine:          cal.MachineFor(im, pes),
+		BlocksPerPE:      blocksPerPE,
+		Block:            [3]int{32, 32, 32},
+		Iters:            iters,
+		KernelSecPerCell: cal.KernelSecPerCell,
+	}
+}
+
+func TestStencilWeakScalingFlat(t *testing.T) {
+	// weak scaling: fixed block per PE; time per step should stay within a
+	// modest factor as PEs grow (paper figure 1's flat-ish profile)
+	base := RunStencil(defaultStencil(8, 1, 10, ImplCharm))
+	big := RunStencil(defaultStencil(512, 1, 10, ImplCharm))
+	if big.TimePerStepMS > base.TimePerStepMS*2 {
+		t.Errorf("weak scaling blew up: %d PEs %.3f ms, %d PEs %.3f ms",
+			base.PEs, base.TimePerStepMS, big.PEs, big.TimePerStepMS)
+	}
+}
+
+func TestStencilStrongScalingDecreases(t *testing.T) {
+	// strong scaling: fixed total grid; block shrinks as PEs grow
+	cal := Default()
+	mk := func(pes, blockEdge int) StencilResult {
+		cfg := StencilConfig{
+			Machine:          cal.MachineFor(ImplCharm, pes),
+			BlocksPerPE:      1,
+			Block:            [3]int{blockEdge, blockEdge, blockEdge},
+			Iters:            10,
+			KernelSecPerCell: cal.KernelSecPerCell,
+		}
+		return RunStencil(cfg)
+	}
+	t8 := mk(8, 64)   // 128^3 grid over 8 PEs
+	t64 := mk(64, 32) // same grid over 64 PEs
+	if t64.TimePerStepMS >= t8.TimePerStepMS {
+		t.Errorf("strong scaling failed: 8 PEs %.3f ms, 64 PEs %.3f ms",
+			t8.TimePerStepMS, t64.TimePerStepMS)
+	}
+	speedup := t8.TimePerStepMS / t64.TimePerStepMS
+	if speedup < 3 {
+		t.Errorf("8->64 PEs speedup only %.2fx", speedup)
+	}
+}
+
+func TestStencilDynamicSlowerThanStatic(t *testing.T) {
+	st := RunStencil(defaultStencil(64, 1, 10, ImplCharm))
+	dy := RunStencil(defaultStencil(64, 1, 10, ImplCharmPy))
+	if dy.TimePerStepMS < st.TimePerStepMS {
+		t.Errorf("dynamic (CharmPy model) faster than static: %.4f < %.4f",
+			dy.TimePerStepMS, st.TimePerStepMS)
+	}
+	// coarse-grained: overhead gap should be small (paper: <= ~6%)
+	if dy.TimePerStepMS > st.TimePerStepMS*1.5 {
+		t.Errorf("stencil gap unreasonably large: %.4f vs %.4f", dy.TimePerStepMS, st.TimePerStepMS)
+	}
+}
+
+func TestStencilLBSpeedsUpImbalanced(t *testing.T) {
+	cal := Default()
+	mk := func(lbOn bool) StencilResult {
+		cfg := StencilConfig{
+			Machine:          cal.MachineFor(ImplCharm, 16),
+			BlocksPerPE:      4,
+			Block:            [3]int{16, 16, 16},
+			Iters:            300, // amortize the unbalanced pre-LB window
+			KernelSecPerCell: cal.KernelSecPerCell,
+			Imbalance:        true,
+		}
+		if lbOn {
+			cfg.LBPeriod = 30 // the paper's LB period
+			cfg.LB = lb.Greedy{}
+		}
+		return RunStencil(cfg)
+	}
+	off := mk(false)
+	on := mk(true)
+	speedup := off.WallSeconds / on.WallSeconds
+	t.Logf("imbalanced stencil: no-LB %.1f ms/step, LB %.1f ms/step, speedup %.2fx, %d migrations",
+		off.TimePerStepMS, on.TimePerStepMS, speedup, on.Migrations)
+	if speedup < 1.5 {
+		t.Errorf("LB speedup %.2fx, want >= 1.5x (paper: 1.9-2.27x)", speedup)
+	}
+	if on.Migrations == 0 {
+		t.Error("LB run performed no migrations")
+	}
+}
+
+func TestLeanMDScalesAndGapGrows(t *testing.T) {
+	cal := Default()
+	mk := func(pes int, im Impl) LeanMDResult {
+		return RunLeanMD(LeanMDConfig{
+			Machine:          cal.MachineFor(im, pes),
+			Cells:            [3]int{8, 8, 8},
+			PerCell:          50,
+			Steps:            3,
+			PairCostSec:      cal.PairCostSec,
+			IntegrateCostSec: 10 * cal.PairCostSec,
+		})
+	}
+	st32 := mk(32, ImplCharm)
+	st128 := mk(128, ImplCharm)
+	if st128.WallSeconds >= st32.WallSeconds {
+		t.Errorf("LeanMD strong scaling failed: %.4f -> %.4f s", st32.WallSeconds, st128.WallSeconds)
+	}
+	dy32 := mk(32, ImplCharmPy)
+	if dy32.WallSeconds <= st32.WallSeconds {
+		t.Errorf("CharmPy model not slower on fine-grained LeanMD: %.4f vs %.4f",
+			dy32.WallSeconds, st32.WallSeconds)
+	}
+	gapMD := dy32.WallSeconds / st32.WallSeconds
+	stc := RunStencil(defaultStencil(32, 1, 5, ImplCharm))
+	dyc := RunStencil(defaultStencil(32, 1, 5, ImplCharmPy))
+	gapStencil := dyc.WallSeconds / stc.WallSeconds
+	t.Logf("dynamic/static gap: stencil %.3fx, leanmd %.3fx", gapStencil, gapMD)
+	// the paper's key contrast: fine-grained LeanMD suffers more overhead
+	if gapMD <= gapStencil {
+		t.Errorf("expected LeanMD gap (%.3f) to exceed stencil gap (%.3f)", gapMD, gapStencil)
+	}
+}
+
+func TestBlockGridDims(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 100, 128, 1000, 4096} {
+		d := blockGridDims(n)
+		if d[0]*d[1]*d[2] != n {
+			t.Errorf("blockGridDims(%d) = %v (product %d)", n, d, d[0]*d[1]*d[2])
+		}
+	}
+}
+
+// Property: the simulator is deterministic — same config, same result.
+func TestSimDeterminism(t *testing.T) {
+	f := func(pes8 uint8, iters8 uint8) bool {
+		pes := int(pes8)%31 + 1
+		iters := int(iters8)%5 + 1
+		a := RunStencil(defaultStencil(pes, 1, iters, ImplCharm))
+		b := RunStencil(defaultStencil(pes, 1, iters, ImplCharm))
+		return a.WallSeconds == b.WallSeconds && a.Events == b.Events
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasureCalibrationSane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	c := Measure()
+	if c.KernelSecPerCell <= 0 || c.KernelSecPerCell > 1e-5 {
+		t.Errorf("kernel cost %g implausible", c.KernelSecPerCell)
+	}
+	if c.StaticMsgSec <= 0 || c.DynamicMsgSec <= 0 || c.MPIMsgSec <= 0 {
+		t.Errorf("non-positive overheads: %+v", c)
+	}
+	if c.DynamicMsgSec < c.StaticMsgSec {
+		t.Errorf("dynamic dispatch measured faster than static: %g < %g",
+			c.DynamicMsgSec, c.StaticMsgSec)
+	}
+	t.Logf("calibration: %+v", c)
+}

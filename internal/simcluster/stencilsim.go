@@ -1,0 +1,268 @@
+package simcluster
+
+import (
+	"fmt"
+	"math"
+
+	"charmgo/internal/core"
+	"charmgo/internal/stencil"
+)
+
+// StencilConfig describes a simulated stencil3d run (paper figures 1-3).
+type StencilConfig struct {
+	Machine Machine
+	// BlocksPerPE: 1 reproduces the paper's balanced runs; 4 is the paper's
+	// imbalanced charm decomposition (needed so LB has units to move).
+	BlocksPerPE int
+	// Block is the per-block interior size (cells per dimension).
+	Block [3]int
+	Iters int
+	// KernelSecPerCell is the calibrated Jacobi kernel cost.
+	KernelSecPerCell float64
+	// Imbalance applies the paper's alpha load model (section V-B).
+	Imbalance bool
+	// LBPeriod runs the strategy every LBPeriod iterations (0 = off).
+	LBPeriod int
+	LB       core.LBStrategy
+}
+
+// StencilResult is the simulated outcome.
+type StencilResult struct {
+	PEs           int
+	Blocks        int
+	TimePerStepMS float64
+	WallSeconds   float64
+	Utilization   float64
+	Migrations    int
+	Events        int64
+}
+
+type simBlock struct {
+	id       int
+	pe       int
+	idx      [3]int
+	nbrs     []int     // neighbor block ids
+	nbrBytes []float64 // face size in bytes per neighbor
+	iter     int
+	got      map[int]int
+	window   float64 // load since last LB round
+	atSync   bool
+}
+
+type stencilSim struct {
+	cfg    StencilConfig
+	sim    *Sim
+	blocks []*simBlock
+	dims   [3]int
+	nDone  int
+	finish float64
+
+	// LB round state
+	nAtSync    int
+	migrations int
+	lbPending  int
+}
+
+// BlockGridDims factors n blocks into three near-cubic dimensions (exported
+// for the figure harness, which derives per-block sizes from it).
+func BlockGridDims(n int) [3]int { return blockGridDims(n) }
+
+// blockGridDims factors n into three near-equal dimensions.
+func blockGridDims(n int) [3]int {
+	best := [3]int{n, 1, 1}
+	bestScore := math.MaxFloat64
+	for a := 1; a*a*a <= n*4; a++ {
+		if n%a != 0 {
+			continue
+		}
+		m := n / a
+		for b := a; b*b <= m*4; b++ {
+			if m%b != 0 {
+				continue
+			}
+			c := m / b
+			score := math.Abs(float64(a-b)) + math.Abs(float64(b-c)) + math.Abs(float64(a-c))
+			if score < bestScore {
+				bestScore = score
+				best = [3]int{a, b, c}
+			}
+		}
+	}
+	return best
+}
+
+// RunStencil simulates the configured run and returns measurements.
+func RunStencil(cfg StencilConfig) StencilResult {
+	if cfg.BlocksPerPE <= 0 {
+		cfg.BlocksPerPE = 1
+	}
+	n := cfg.Machine.PEs * cfg.BlocksPerPE
+	dims := blockGridDims(n)
+	ss := &stencilSim{cfg: cfg, sim: NewSim(cfg.Machine.PEs), dims: dims}
+	// build blocks
+	for id := 0; id < n; id++ {
+		b := &simBlock{
+			id:  id,
+			pe:  id * cfg.Machine.PEs / n, // the runtime's default block map
+			got: map[int]int{},
+		}
+		b.idx = [3]int{id / (dims[1] * dims[2]), (id / dims[2]) % dims[1], id % dims[2]}
+		for d := 0; d < 6; d++ {
+			ni := b.idx
+			axis := d / 2
+			if d%2 == 0 {
+				ni[axis]--
+			} else {
+				ni[axis]++
+			}
+			if ni[0] < 0 || ni[0] >= dims[0] || ni[1] < 0 || ni[1] >= dims[1] || ni[2] < 0 || ni[2] >= dims[2] {
+				continue
+			}
+			nid := (ni[0]*dims[1]+ni[1])*dims[2] + ni[2]
+			b.nbrs = append(b.nbrs, nid)
+			var face int
+			switch axis {
+			case 0:
+				face = cfg.Block[1] * cfg.Block[2]
+			case 1:
+				face = cfg.Block[0] * cfg.Block[2]
+			default:
+				face = cfg.Block[0] * cfg.Block[1]
+			}
+			b.nbrBytes = append(b.nbrBytes, float64(face*8))
+		}
+		ss.blocks = append(ss.blocks, b)
+	}
+	// kick off iteration 0 ghost sends
+	for _, b := range ss.blocks {
+		ss.sendGhosts(b)
+	}
+	ss.sim.Run()
+	if ss.nDone != len(ss.blocks) {
+		panic(fmt.Sprintf("simcluster: stencil deadlock: %d of %d blocks finished", ss.nDone, len(ss.blocks)))
+	}
+	return StencilResult{
+		PEs:           cfg.Machine.PEs,
+		Blocks:        n,
+		WallSeconds:   ss.finish,
+		TimePerStepMS: ss.finish / float64(cfg.Iters) * 1000,
+		Utilization:   ss.sim.Utilization(),
+		Migrations:    ss.migrations,
+		Events:        ss.sim.Events(),
+	}
+}
+
+func (ss *stencilSim) sendGhosts(b *simBlock) {
+	if len(b.nbrs) == 0 {
+		ss.compute(b)
+		return
+	}
+	for i, nid := range b.nbrs {
+		nb := ss.blocks[nid]
+		iter := b.iter
+		ss.cfg.Machine.SendMsg(ss.sim, b.pe, nb.pe, b.nbrBytes[i], func() {
+			ss.recvGhost(nb, iter)
+		})
+	}
+}
+
+func (ss *stencilSim) recvGhost(b *simBlock, iter int) {
+	b.got[iter]++
+	ss.maybeCompute(b)
+}
+
+func (ss *stencilSim) maybeCompute(b *simBlock) {
+	if b.atSync || b.got[b.iter] < len(b.nbrs) {
+		return
+	}
+	delete(b.got, b.iter)
+	ss.compute(b)
+}
+
+func (ss *stencilSim) compute(b *simBlock) {
+	cells := float64(ss.cfg.Block[0] * ss.cfg.Block[1] * ss.cfg.Block[2])
+	d := cells * ss.cfg.KernelSecPerCell
+	if ss.cfg.Imbalance {
+		// alpha is defined over the MPI-granularity blocks (paper V-B)
+		nMPI := len(ss.blocks) / ss.cfg.BlocksPerPE
+		alphaIdx := b.id / ss.cfg.BlocksPerPE
+		d *= 1 + stencil.Alpha(alphaIdx, nMPI, b.iter)
+	}
+	b.window += d
+	ss.sim.PEWork(b.pe, ss.sim.Now(), d, func() {
+		b.iter++
+		switch {
+		case b.iter >= ss.cfg.Iters:
+			ss.nDone++
+			if t := ss.sim.Now(); t > ss.finish {
+				ss.finish = t
+			}
+		case ss.cfg.LBPeriod > 0 && b.iter%ss.cfg.LBPeriod == 0:
+			ss.atSync(b)
+		default:
+			ss.sendGhosts(b)
+			// all ghosts for the new iteration may have arrived mid-compute
+			if len(b.nbrs) > 0 {
+				ss.maybeCompute(b)
+			}
+		}
+	})
+}
+
+// ---- simulated AtSync load balancing ----
+
+func (ss *stencilSim) atSync(b *simBlock) {
+	b.atSync = true
+	ss.nAtSync++
+	if ss.nAtSync < len(ss.blocks) {
+		return
+	}
+	ss.nAtSync = 0
+	objs := make([]core.LBObject, len(ss.blocks))
+	for i, blk := range ss.blocks {
+		objs[i] = core.LBObject{Key: fmt.Sprintf("b%06d", blk.id), PE: core.PE(blk.pe), Load: blk.window}
+	}
+	moves := map[int]int{}
+	if ss.cfg.LB != nil {
+		assign := ss.cfg.LB.Assign(objs, ss.sim.NumPEs())
+		for i, blk := range ss.blocks {
+			if dest, ok := assign[objs[i].Key]; ok && int(dest) != blk.pe {
+				moves[blk.id] = int(dest)
+			}
+		}
+	}
+	for _, blk := range ss.blocks {
+		blk.window = 0
+	}
+	if len(moves) == 0 {
+		ss.resumeAll()
+		return
+	}
+	ss.lbPending = len(moves)
+	ss.migrations += len(moves)
+	blockBytes := float64(ss.cfg.Block[0]*ss.cfg.Block[1]*ss.cfg.Block[2]) * 8 * 2
+	for id, dest := range moves {
+		blk := ss.blocks[id]
+		from := blk.pe
+		blk.pe = dest
+		ss.cfg.Machine.SendMsg(ss.sim, from, dest, blockBytes, func() {
+			ss.lbPending--
+			if ss.lbPending == 0 {
+				ss.resumeAll()
+			}
+		})
+	}
+}
+
+func (ss *stencilSim) resumeAll() {
+	for _, blk := range ss.blocks {
+		blk.atSync = false
+	}
+	for _, blk := range ss.blocks {
+		ss.sendGhosts(blk)
+	}
+	// ghosts buffered during the sync phase may already satisfy a block
+	for _, blk := range ss.blocks {
+		ss.maybeCompute(blk)
+	}
+}

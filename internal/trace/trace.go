@@ -1,0 +1,186 @@
+// Package trace is a lightweight performance-tracing facility for the
+// charmgo runtime, in the spirit of Charm++'s Projections: it records entry
+// method executions and message sends per PE, and produces utilization and
+// per-method summaries. Attach a Tracer through core.Config.Trace; the
+// runtime records events only when one is attached (zero overhead
+// otherwise).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// EvEM is one entry-method execution (Dur covers the run time).
+	EvEM Kind = iota
+	// EvSend is one message send.
+	EvSend
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	PE     int           `json:"pe"`
+	Kind   Kind          `json:"kind"`
+	At     time.Duration `json:"at"` // since tracer creation
+	Dur    time.Duration `json:"dur,omitempty"`
+	Chare  string        `json:"chare,omitempty"`
+	Method string        `json:"method,omitempty"`
+	Bytes  int           `json:"bytes,omitempty"` // wire size; 0 for in-node
+}
+
+// Tracer collects events. Safe for concurrent use; per-PE buffers keep
+// contention off the hot path.
+type Tracer struct {
+	start time.Time
+	shard []shard
+	extra shard // events with unknown PE
+}
+
+type shard struct {
+	mu sync.Mutex
+	ev []Event
+}
+
+// New creates a tracer for numPEs local PEs.
+func New(numPEs int) *Tracer {
+	return &Tracer{start: time.Now(), shard: make([]shard, numPEs)}
+}
+
+func (t *Tracer) bucket(pe int) *shard {
+	if pe >= 0 && pe < len(t.shard) {
+		return &t.shard[pe]
+	}
+	return &t.extra
+}
+
+// Since returns the tracer-relative timestamp for now.
+func (t *Tracer) Since() time.Duration { return time.Since(t.start) }
+
+// EM records one entry-method execution.
+func (t *Tracer) EM(pe int, chare, method string, at, dur time.Duration) {
+	b := t.bucket(pe)
+	b.mu.Lock()
+	b.ev = append(b.ev, Event{PE: pe, Kind: EvEM, At: at, Dur: dur, Chare: chare, Method: method})
+	b.mu.Unlock()
+}
+
+// Send records one message send (bytes 0 when the message stayed in-node by
+// reference).
+func (t *Tracer) Send(pe int, method string, at time.Duration, bytes int) {
+	b := t.bucket(pe)
+	b.mu.Lock()
+	b.ev = append(b.ev, Event{PE: pe, Kind: EvSend, At: at, Method: method, Bytes: bytes})
+	b.mu.Unlock()
+}
+
+// Snapshot returns all events ordered by time.
+func (t *Tracer) Snapshot() []Event {
+	var out []Event
+	collect := func(s *shard) {
+		s.mu.Lock()
+		out = append(out, s.ev...)
+		s.mu.Unlock()
+	}
+	for i := range t.shard {
+		collect(&t.shard[i])
+	}
+	collect(&t.extra)
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// MethodStat aggregates one entry method's executions.
+type MethodStat struct {
+	Chare  string
+	Method string
+	Count  int
+	Total  time.Duration
+	Max    time.Duration
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Wall    time.Duration
+	PEBusy  []time.Duration // per-PE entry-method time
+	Sends   int
+	Bytes   int64
+	Methods []MethodStat // sorted by total time, descending
+	NumEMs  int
+}
+
+// Summarize computes aggregate statistics from the recorded events.
+func (t *Tracer) Summarize() Summary {
+	evs := t.Snapshot()
+	s := Summary{Wall: t.Since(), PEBusy: make([]time.Duration, len(t.shard))}
+	byMethod := map[string]*MethodStat{}
+	for _, e := range evs {
+		switch e.Kind {
+		case EvEM:
+			s.NumEMs++
+			if e.PE >= 0 && e.PE < len(s.PEBusy) {
+				s.PEBusy[e.PE] += e.Dur
+			}
+			key := e.Chare + "." + e.Method
+			m := byMethod[key]
+			if m == nil {
+				m = &MethodStat{Chare: e.Chare, Method: e.Method}
+				byMethod[key] = m
+			}
+			m.Count++
+			m.Total += e.Dur
+			if e.Dur > m.Max {
+				m.Max = e.Dur
+			}
+		case EvSend:
+			s.Sends++
+			s.Bytes += int64(e.Bytes)
+		}
+	}
+	for _, m := range byMethod {
+		s.Methods = append(s.Methods, *m)
+	}
+	sort.Slice(s.Methods, func(i, j int) bool { return s.Methods[i].Total > s.Methods[j].Total })
+	return s
+}
+
+// Utilization returns each PE's busy fraction of the wall time.
+func (s Summary) Utilization() []float64 {
+	out := make([]float64, len(s.PEBusy))
+	if s.Wall <= 0 {
+		return out
+	}
+	for i, b := range s.PEBusy {
+		out[i] = float64(b) / float64(s.Wall)
+	}
+	return out
+}
+
+// WriteJSON dumps the raw events as JSON (one array), Projections-log style.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t.Snapshot())
+}
+
+// Fprint writes a human-readable summary table.
+func (s Summary) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "wall %.3fs, %d entry methods, %d sends (%d bytes on the wire)\n",
+		s.Wall.Seconds(), s.NumEMs, s.Sends, s.Bytes)
+	util := s.Utilization()
+	for pe, u := range util {
+		fmt.Fprintf(w, "  PE %-3d busy %5.1f%% (%8.3fms)\n", pe, u*100, s.PEBusy[pe].Seconds()*1000)
+	}
+	fmt.Fprintf(w, "  %-32s %8s %12s %12s\n", "entry method", "count", "total", "max")
+	for _, m := range s.Methods {
+		fmt.Fprintf(w, "  %-32s %8d %10.3fms %10.3fms\n",
+			m.Chare+"."+m.Method, m.Count, m.Total.Seconds()*1000, m.Max.Seconds()*1000)
+	}
+}

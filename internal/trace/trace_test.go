@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	tr := New(2)
+	tr.EM(0, "Block", "RecvGhost", 0, 2*time.Millisecond)
+	tr.EM(0, "Block", "RecvGhost", 3*time.Millisecond, 4*time.Millisecond)
+	tr.EM(1, "Block", "Init", time.Millisecond, time.Millisecond)
+	tr.Send(0, "RecvGhost", time.Millisecond, 128)
+	tr.Send(1, "RecvGhost", 2*time.Millisecond, 0)
+	s := tr.Summarize()
+	if s.NumEMs != 3 {
+		t.Errorf("NumEMs = %d", s.NumEMs)
+	}
+	if s.Sends != 2 || s.Bytes != 128 {
+		t.Errorf("Sends=%d Bytes=%d", s.Sends, s.Bytes)
+	}
+	if s.PEBusy[0] != 6*time.Millisecond || s.PEBusy[1] != time.Millisecond {
+		t.Errorf("PEBusy = %v", s.PEBusy)
+	}
+	if len(s.Methods) != 2 {
+		t.Fatalf("Methods = %v", s.Methods)
+	}
+	if s.Methods[0].Method != "RecvGhost" || s.Methods[0].Count != 2 ||
+		s.Methods[0].Max != 4*time.Millisecond {
+		t.Errorf("top method = %+v", s.Methods[0])
+	}
+}
+
+func TestSnapshotOrdering(t *testing.T) {
+	tr := New(2)
+	tr.EM(1, "A", "M", 5*time.Millisecond, time.Millisecond)
+	tr.EM(0, "A", "M", time.Millisecond, time.Millisecond)
+	tr.Send(0, "M", 3*time.Millisecond, 0)
+	evs := tr.Snapshot()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("events out of order: %v", evs)
+		}
+	}
+}
+
+func TestUnknownPEGoesToExtraShard(t *testing.T) {
+	tr := New(1)
+	tr.Send(-1, "M", 0, 10)
+	tr.Send(7, "M", 0, 20)
+	s := tr.Summarize()
+	if s.Sends != 2 || s.Bytes != 30 {
+		t.Errorf("summary %+v", s)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.EM(g%4, "C", "M", time.Duration(i), time.Microsecond)
+				tr.Send(g%4, "M", time.Duration(i), 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := tr.Summarize()
+	if s.NumEMs != 800 || s.Sends != 800 {
+		t.Errorf("NumEMs=%d Sends=%d", s.NumEMs, s.Sends)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := New(1)
+	tr.EM(0, "C", "M", time.Millisecond, time.Millisecond)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Chare != "C" {
+		t.Errorf("decoded %v", evs)
+	}
+}
+
+func TestFprintSummary(t *testing.T) {
+	tr := New(2)
+	tr.EM(0, "Block", "RecvGhost", 0, time.Millisecond)
+	var buf bytes.Buffer
+	tr.Summarize().Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"PE 0", "Block.RecvGhost", "entry method"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

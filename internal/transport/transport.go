@@ -1,0 +1,331 @@
+// Package transport provides inter-node message transports for the charmgo
+// runtime. It plays the role of the Charm++ communication layers (MPI, OFI,
+// GNI, PAMI in the paper, section IV-C): the runtime hands it opaque frames
+// addressed to a node id, and receives frames from peers through a handler.
+//
+// Two implementations are provided:
+//
+//   - Mem: an in-process network connecting N runtimes through goroutine
+//     queues; used by tests and by multi-"process" simulations inside one OS
+//     process (each node still serializes every frame, like real processes).
+//   - TCP: a real socket transport with length-prefixed frames and a node-id
+//     handshake, usable to run charmgo programs across OS processes/hosts.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Handler receives an inbound frame from another node.
+type Handler func(from int, frame []byte)
+
+// Transport sends opaque frames between nodes of a charmgo job.
+type Transport interface {
+	// NodeID returns this endpoint's node id.
+	NodeID() int
+	// NumNodes returns the job's node count.
+	NumNodes() int
+	// Send delivers frame to the given node. It is safe for concurrent use.
+	Send(node int, frame []byte) error
+	// SetHandler installs the inbound frame handler. Must be called before
+	// any frame can be delivered.
+	SetHandler(h Handler)
+	// Close releases resources. Subsequent Sends fail.
+	Close() error
+}
+
+// ---- in-memory transport ----
+
+// MemNetwork is a set of connected in-process transports, one per node.
+type MemNetwork struct {
+	eps []*MemEndpoint
+}
+
+// NewMemNetwork creates n connected in-memory endpoints.
+func NewMemNetwork(n int) *MemNetwork {
+	nw := &MemNetwork{eps: make([]*MemEndpoint, n)}
+	for i := 0; i < n; i++ {
+		ep := &MemEndpoint{nw: nw, id: i, n: n}
+		ep.cond = sync.NewCond(&ep.mu)
+		nw.eps[i] = ep
+	}
+	for i := 0; i < n; i++ {
+		go nw.eps[i].pump()
+	}
+	return nw
+}
+
+// Endpoint returns the transport endpoint for node i.
+func (nw *MemNetwork) Endpoint(i int) *MemEndpoint { return nw.eps[i] }
+
+// MemEndpoint is one node's view of a MemNetwork.
+type MemEndpoint struct {
+	nw   *MemNetwork
+	id   int
+	n    int
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []memFrame
+	h    Handler
+	hSet chan struct{} // closed when handler installed
+	done bool
+}
+
+type memFrame struct {
+	from  int
+	frame []byte
+}
+
+// NodeID implements Transport.
+func (e *MemEndpoint) NodeID() int { return e.id }
+
+// NumNodes implements Transport.
+func (e *MemEndpoint) NumNodes() int { return e.n }
+
+// SetHandler implements Transport.
+func (e *MemEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	e.h = h
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// Send implements Transport. The frame is copied, so the caller may reuse
+// its buffer (mirroring what a socket write would do).
+func (e *MemEndpoint) Send(node int, frame []byte) error {
+	if node < 0 || node >= e.n {
+		return fmt.Errorf("transport: bad node id %d (of %d)", node, e.n)
+	}
+	dst := e.nw.eps[node]
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	dst.mu.Lock()
+	if dst.done {
+		dst.mu.Unlock()
+		return errors.New("transport: endpoint closed")
+	}
+	dst.q = append(dst.q, memFrame{from: e.id, frame: cp})
+	dst.mu.Unlock()
+	dst.cond.Broadcast()
+	return nil
+}
+
+func (e *MemEndpoint) pump() {
+	for {
+		e.mu.Lock()
+		for (len(e.q) == 0 || e.h == nil) && !e.done {
+			e.cond.Wait()
+		}
+		if e.done {
+			e.mu.Unlock()
+			return
+		}
+		batch := e.q
+		e.q = nil
+		h := e.h
+		e.mu.Unlock()
+		for _, f := range batch {
+			h(f.from, f.frame)
+		}
+	}
+}
+
+// Close implements Transport.
+func (e *MemEndpoint) Close() error {
+	e.mu.Lock()
+	e.done = true
+	e.mu.Unlock()
+	e.cond.Broadcast()
+	return nil
+}
+
+// ---- TCP transport ----
+
+// TCP is a socket transport. All nodes know the full address list; node i
+// listens on addrs[i] and dials every node j < i (so each pair has exactly
+// one connection). Frames are length-prefixed (4-byte big-endian) and the
+// dialing side sends its node id as the first frame.
+type TCP struct {
+	id    int
+	addrs []string
+	ln    net.Listener
+
+	mu    sync.Mutex
+	conns map[int]net.Conn
+	wmu   map[int]*sync.Mutex
+	h     Handler
+	ready chan struct{} // closed when all peer conns are up
+	nUp   int
+	done  bool
+}
+
+// NewTCP creates the transport for node id and connects the full mesh.
+// It blocks until every pairwise connection is established.
+func NewTCP(id int, addrs []string) (*TCP, error) {
+	t := &TCP{
+		id:    id,
+		addrs: addrs,
+		conns: make(map[int]net.Conn),
+		wmu:   make(map[int]*sync.Mutex),
+		ready: make(chan struct{}),
+	}
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[id], err)
+	}
+	t.ln = ln
+	go t.acceptLoop()
+	// Dial lower-numbered peers.
+	for j := 0; j < id; j++ {
+		conn, err := dialRetry(addrs[j])
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("transport: dial node %d (%s): %w", j, addrs[j], err)
+		}
+		// Handshake: send our node id.
+		hello := make([]byte, 8)
+		binary.BigEndian.PutUint32(hello[:4], 4)
+		binary.BigEndian.PutUint32(hello[4:], uint32(id))
+		if _, err := conn.Write(hello); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("transport: handshake with node %d: %w", j, err)
+		}
+		t.addConn(j, conn)
+	}
+	// Wait until higher-numbered peers have dialed us.
+	if len(addrs) > 1 {
+		<-t.ready
+	}
+	return t, nil
+}
+
+func dialRetry(addr string) (net.Conn, error) {
+	var lastErr error
+	for i := 0; i < 200; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// Addr returns the listener's actual address (useful with ":0" addresses).
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCP) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(c net.Conn) {
+			frame, err := readFrame(c)
+			if err != nil || len(frame) != 4 {
+				c.Close()
+				return
+			}
+			peer := int(binary.BigEndian.Uint32(frame))
+			t.addConn(peer, c)
+		}(conn)
+	}
+}
+
+func (t *TCP) addConn(peer int, c net.Conn) {
+	t.mu.Lock()
+	t.conns[peer] = c
+	t.wmu[peer] = &sync.Mutex{}
+	t.nUp++
+	allUp := t.nUp == len(t.addrs)-1
+	t.mu.Unlock()
+	go t.readLoop(peer, c)
+	if allUp {
+		close(t.ready)
+	}
+}
+
+func (t *TCP) readLoop(peer int, c net.Conn) {
+	for {
+		frame, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		h := t.h
+		t.mu.Unlock()
+		if h != nil {
+			h(peer, frame)
+		}
+	}
+}
+
+func readFrame(c net.Conn) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > 1<<30 {
+		return nil, fmt.Errorf("transport: oversized frame (%d bytes)", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(c, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// NodeID implements Transport.
+func (t *TCP) NodeID() int { return t.id }
+
+// NumNodes implements Transport.
+func (t *TCP) NumNodes() int { return len(t.addrs) }
+
+// SetHandler implements Transport.
+func (t *TCP) SetHandler(h Handler) {
+	t.mu.Lock()
+	t.h = h
+	t.mu.Unlock()
+}
+
+// Send implements Transport.
+func (t *TCP) Send(node int, frame []byte) error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return errors.New("transport: closed")
+	}
+	c, ok := t.conns[node]
+	wmu := t.wmu[node]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: no connection to node %d", node)
+	}
+	buf := make([]byte, 4+len(frame))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(frame)))
+	copy(buf[4:], frame)
+	wmu.Lock()
+	_, err := c.Write(buf)
+	wmu.Unlock()
+	return err
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	t.done = true
+	conns := t.conns
+	t.conns = map[int]net.Conn{}
+	t.mu.Unlock()
+	t.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}
