@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test check race bench vet
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the CI gate for the concurrency-sensitive packages: vet the whole
+# module, then run the runtime core and transport under the race detector.
+check: vet
+	$(GO) test -race ./internal/core/... ./internal/transport/...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench BenchmarkRemoteInvokeRate -benchtime 2s .
+	$(GO) test -run xxx -bench 'BenchmarkEncodeMsgInvoke|BenchmarkDecodeMsgInvoke|BenchmarkMailbox' ./internal/core/

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"charmgo/internal/transport"
+)
+
+// Default aggregation knobs (Config.BatchBytes / Config.FlushInterval).
+const (
+	defaultBatchBytes    = 8 << 10
+	defaultFlushInterval = 100 * time.Microsecond
+)
+
+// aggregator is the TRAM analog (Charm++'s Topological Routing and
+// Aggregation Module): it coalesces small cross-node frames into per-
+// destination batch frames so that fine-grained workloads pay the transport
+// cost (syscall or queue handoff, length prefix, wakeup) once per batch
+// instead of once per message.
+//
+// Messages are serialized exactly once, directly into the outgoing batch
+// buffer (a pooled transport frame), so aggregation adds no copies to the
+// send path. A batch is transmitted when it reaches the size threshold, when
+// a PE scheduler runs out of work (the idle hook in peState.loop, which
+// keeps request/response latency low), or at the latest when the background
+// flusher ticks.
+type aggregator struct {
+	rt        *Runtime
+	threshold int
+	nodes     []aggNode
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// aggNode is the pending batch for one destination node. The mutex is held
+// across transmission of a full batch, which serializes senders to the same
+// node exactly like the transport's per-connection write lock would, and
+// guarantees per-destination frame ordering.
+type aggNode struct {
+	mu  sync.Mutex
+	buf []byte   // nil when empty; pooled frame starting with the batch header
+	_   [32]byte // pad to a cache line so per-node locks don't false-share
+}
+
+func newAggregator(rt *Runtime, threshold int, interval time.Duration) *aggregator {
+	if threshold == 0 {
+		threshold = defaultBatchBytes
+	}
+	if interval <= 0 {
+		interval = defaultFlushInterval
+	}
+	a := &aggregator{
+		rt:        rt,
+		threshold: threshold,
+		nodes:     make([]aggNode, rt.numNodes),
+		stop:      make(chan struct{}),
+	}
+	a.wg.Add(1)
+	go a.flushLoop(interval)
+	return a
+}
+
+// send appends m's frame to the destination node's pending batch,
+// transmitting it if the threshold is reached.
+func (a *aggregator) send(node int, dest PE, m *Message) {
+	an := &a.nodes[node]
+	an.mu.Lock()
+	if an.buf == nil {
+		d := batchDest // non-constant so the negative->uint32 conversion compiles
+		an.buf = binary.LittleEndian.AppendUint32(transport.GetBuf(), uint32(d))
+	}
+	// Reserve the sub-frame length slot, serialize in place, then patch it.
+	off := len(an.buf)
+	an.buf = append(an.buf, 0, 0, 0, 0)
+	an.buf = appendMsg(an.buf, dest, m, a.rt.wt)
+	binary.LittleEndian.PutUint32(an.buf[off:], uint32(len(an.buf)-off-4))
+	if len(an.buf) >= a.threshold {
+		a.xmitLocked(node, an)
+	}
+	an.mu.Unlock()
+}
+
+// flushNode transmits node's pending batch, if any.
+func (a *aggregator) flushNode(node int) {
+	an := &a.nodes[node]
+	an.mu.Lock()
+	if an.buf != nil {
+		a.xmitLocked(node, an)
+	}
+	an.mu.Unlock()
+}
+
+// flushAll transmits every pending batch. Called from idle PE schedulers,
+// the background flusher, and Exit.
+func (a *aggregator) flushAll() {
+	for n := range a.nodes {
+		if n == a.rt.nodeID {
+			continue
+		}
+		a.flushNode(n)
+	}
+}
+
+// xmitLocked hands the pending batch to the transport. an.mu is held, which
+// preserves per-destination ordering between threshold flushes and timer
+// flushes.
+func (a *aggregator) xmitLocked(node int, an *aggNode) {
+	buf := an.buf
+	an.buf = nil
+	a.rt.xmit(node, buf)
+}
+
+// flushLoop is the timeout backstop: idle-hook flushes normally win, but a
+// PE pinned by a long-running entry method must not strand its sends.
+func (a *aggregator) flushLoop(interval time.Duration) {
+	defer a.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			a.flushAll()
+		}
+	}
+}
+
+// shutdown flushes pending batches and stops the background flusher.
+func (a *aggregator) shutdown() {
+	close(a.stop)
+	a.wg.Wait()
+	a.flushAll()
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"charmgo/internal/transport"
+)
+
+// testTables builds interning tables containing the given method names.
+func testTables(names ...string) *wireTables {
+	types := map[string]*chareType{}
+	ms := make([]*emInfo, len(names))
+	byName := map[string]*emInfo{}
+	for i, n := range names {
+		ms[i] = &emInfo{name: n, id: int32(i)}
+		byName[n] = ms[i]
+	}
+	types["t"] = &chareType{name: "t", methods: ms, byName: byName}
+	return buildWireTables(types)
+}
+
+func TestMethodInterning(t *testing.T) {
+	wt := testTables("Alpha", "Beta", "RecvGhost")
+	m := &Message{Kind: mInvoke, CID: 3, Idx: []int{1}, MID: 2, Method: "RecvGhost",
+		Src: 0, Args: []any{42}}
+	interned := appendMsg(nil, 5, m, wt)
+	plain := appendMsg(nil, 5, m, nil)
+	if len(interned) >= len(plain) {
+		t.Errorf("interned frame (%d bytes) not smaller than string frame (%d bytes)",
+			len(interned), len(plain))
+	}
+	// Interned frames decode with the same tables.
+	d, out, err := decodeMsgWT(interned, wt)
+	if err != nil || d != 5 || out.Method != "RecvGhost" {
+		t.Fatalf("interned decode: dest=%d m=%+v err=%v", d, out, err)
+	}
+	// String-fallback frames decode with or without tables (interop with a
+	// peer that has no table for this name).
+	if _, out, err = decodeMsgWT(plain, wt); err != nil || out.Method != "RecvGhost" {
+		t.Fatalf("string-frame decode with tables: %+v %v", out, err)
+	}
+	if _, out, err = decodeMsgWT(plain, nil); err != nil || out.Method != "RecvGhost" {
+		t.Fatalf("string-frame decode without tables: %+v %v", out, err)
+	}
+	// An interned id a decoder cannot resolve must error, not misdispatch.
+	if _, _, err = decodeMsgWT(interned, nil); err == nil {
+		t.Error("interned frame decoded without tables")
+	}
+	small := testTables("Alpha")
+	if _, _, err = decodeMsgWT(interned, small); err == nil {
+		t.Error("out-of-range interned id decoded")
+	}
+}
+
+func TestWireTablesDeterministic(t *testing.T) {
+	a := testTables("Zed", "Alpha", "Mid")
+	b := testTables("Mid", "Zed", "Alpha")
+	if len(a.names) != len(b.names) {
+		t.Fatalf("table sizes differ: %v vs %v", a.names, b.names)
+	}
+	for i := range a.names {
+		if a.names[i] != b.names[i] {
+			t.Errorf("id %d: %q vs %q — table not registration-order independent",
+				i, a.names[i], b.names[i])
+		}
+	}
+}
+
+// TestAppendMsgAllocs is the allocation regression gate for the hot encode
+// path: with a pooled pre-sized buffer and interning tables, serializing an
+// invoke must not allocate.
+func TestAppendMsgAllocs(t *testing.T) {
+	wt := testTables("Ping")
+	m := &Message{Kind: mInvoke, CID: 1, Idx: []int{4}, MID: 0, Method: "Ping",
+		Src: 2, Args: []any{7, 3.5}}
+	buf := make([]byte, transport.PrefixLen, 512)
+	allocs := testing.AllocsPerRun(200, func() {
+		out := appendMsg(buf, 9, m, wt)
+		_ = out
+	})
+	if allocs > 0 {
+		t.Errorf("appendMsg allocates %.1f times per invoke, want 0", allocs)
+	}
+}
+
+// TestDecodeArgsAllocs bounds the decode path: one slice header plus one box
+// per scalar arg and one backing array per slice arg.
+func TestDecodeArgsAllocs(t *testing.T) {
+	wt := testTables("Ping")
+	m := &Message{Kind: mInvoke, CID: 1, Idx: []int{4}, MID: 0, Method: "Ping",
+		Src: 2, Args: []any{7, 3.5, []float64{1, 2, 3, 4}}}
+	frame := appendMsg(nil, 9, m, wt)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := decodeMsgWT(frame, wt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Message struct, args slice, idx, 2 scalar boxes, slice box + backing
+	// array, plus small fixed overhead. Guard against regressions, not noise.
+	if allocs > 10 {
+		t.Errorf("decodeMsgWT allocates %.1f times per invoke, want <= 10", allocs)
+	}
+}
+
+// aggWorker is a chare used to flood fine-grained messages across nodes.
+type aggWorker struct {
+	Chare
+	N int
+}
+
+func (w *aggWorker) Bump(k int) { w.N += k }
+
+func (w *aggWorker) Total(done Future) {
+	w.Contribute(w.N, SumReducer, done)
+}
+
+// TestAggregationFlood checks that a high-rate fine-grained workload arrives
+// completely and in order under default aggregation, and that batching
+// actually reduces transport frames versus messages sent.
+func TestAggregationFlood(t *testing.T) {
+	const nodes, pes, msgs = 3, 2, 2000
+	rts := runMultiNode(t, nodes, pes, nil, func(rt *Runtime) {
+		rt.Register(&aggWorker{})
+	}, func(self *Chare) {
+		g := self.NewGroup(&aggWorker{})
+		for i := 0; i < msgs; i++ {
+			g.At(i % (nodes * pes)).Call("Bump", 1)
+		}
+		f := self.CreateFuture()
+		g.Call("Total", f)
+		if got := f.Get(); got != msgs {
+			t.Errorf("flood total = %v, want %d", got, msgs)
+		}
+	})
+	if rts[0].agg == nil {
+		t.Fatal("aggregation not enabled by default on a multi-node job")
+	}
+}
+
+// TestAggregationInterop runs a job where node 0 batches and node 1 does not:
+// both frame shapes must interoperate on the same connection.
+func TestAggregationInterop(t *testing.T) {
+	node := 0
+	rts := runMultiNode(t, 2, 1, func(cfg *Config) {
+		if node == 1 {
+			cfg.BatchBytes = -1 // node 1 sends unbatched frames
+		}
+		node++
+	}, func(rt *Runtime) {
+		rt.Register(&NodeWorker{})
+	}, func(self *Chare) {
+		g := self.NewGroup(&NodeWorker{}, "mix")
+		for i := 0; i < 500; i++ {
+			if got := g.At(i % 2).CallRet("Describe").Get(); got != fmt.Sprintf("mix@pe%d", i%2) {
+				t.Fatalf("iteration %d: %v", i, got)
+			}
+		}
+	})
+	if rts[0].agg == nil || rts[1].agg != nil {
+		t.Fatalf("aggregator state: node0=%v node1=%v, want on/off",
+			rts[0].agg != nil, rts[1].agg != nil)
+	}
+}
+
+// TestAggregationDisabled runs the same traffic with batching off everywhere
+// (the plain per-message wire path must keep working).
+func TestAggregationDisabled(t *testing.T) {
+	rts := runMultiNode(t, 2, 2, func(cfg *Config) {
+		cfg.BatchBytes = -1
+	}, func(rt *Runtime) {
+		rt.Register(&aggWorker{})
+	}, func(self *Chare) {
+		g := self.NewGroup(&aggWorker{})
+		for i := 0; i < 500; i++ {
+			g.At(i % 4).Call("Bump", 2)
+		}
+		f := self.CreateFuture()
+		g.Call("Total", f)
+		if got := f.Get(); got != 1000 {
+			t.Errorf("total = %v, want 1000", got)
+		}
+	})
+	for i, rt := range rts {
+		if rt.agg != nil {
+			t.Errorf("node %d: aggregator present with BatchBytes<0", i)
+		}
+	}
+}

@@ -6,10 +6,18 @@ import "sync"
 // block (Charm++ message sends are asynchronous), which also rules out the
 // send-while-full deadlocks a bounded channel would allow between PEs that
 // post to each other.
+//
+// The queue is a growable ring buffer, so steady-state push, pushFront and
+// pop are O(1) with no per-message allocation (the old slice-based queue
+// re-allocated the whole queue on every pushFront and leaked the head
+// through re-slicing). pushAll enqueues an ingress batch under one lock
+// acquisition.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	q      []*Message
+	buf    []*Message // ring storage; len(buf) is the capacity (power of two not required)
+	head   int        // index of the oldest message
+	count  int        // number of queued messages
 	closed bool
 }
 
@@ -19,6 +27,26 @@ func newMailbox() *mailbox {
 	return mb
 }
 
+// grow ensures capacity for at least n more messages. Caller holds mu.
+func (mb *mailbox) grow(n int) {
+	if mb.count+n <= len(mb.buf) {
+		return
+	}
+	newCap := len(mb.buf) * 2
+	if newCap < 16 {
+		newCap = 16
+	}
+	for newCap < mb.count+n {
+		newCap *= 2
+	}
+	nb := make([]*Message, newCap)
+	for i := 0; i < mb.count; i++ {
+		nb[i] = mb.buf[(mb.head+i)%len(mb.buf)]
+	}
+	mb.buf = nb
+	mb.head = 0
+}
+
 // push enqueues m. It reports whether the mailbox was still open.
 func (mb *mailbox) push(m *Message) bool {
 	mb.mu.Lock()
@@ -26,7 +54,30 @@ func (mb *mailbox) push(m *Message) bool {
 		mb.mu.Unlock()
 		return false
 	}
-	mb.q = append(mb.q, m)
+	mb.grow(1)
+	mb.buf[(mb.head+mb.count)%len(mb.buf)] = m
+	mb.count++
+	mb.mu.Unlock()
+	mb.cond.Signal()
+	return true
+}
+
+// pushAll enqueues a batch of messages in order under a single lock
+// acquisition and wakeup (ingress de-batching path).
+func (mb *mailbox) pushAll(ms []*Message) bool {
+	if len(ms) == 0 {
+		return true
+	}
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return false
+	}
+	mb.grow(len(ms))
+	for _, m := range ms {
+		mb.buf[(mb.head+mb.count)%len(mb.buf)] = m
+		mb.count++
+	}
 	mb.mu.Unlock()
 	mb.cond.Signal()
 	return true
@@ -39,10 +90,23 @@ func (mb *mailbox) pushFront(m *Message) bool {
 		mb.mu.Unlock()
 		return false
 	}
-	mb.q = append([]*Message{m}, mb.q...)
+	mb.grow(1)
+	mb.head = (mb.head - 1 + len(mb.buf)) % len(mb.buf)
+	mb.buf[mb.head] = m
+	mb.count++
 	mb.mu.Unlock()
 	mb.cond.Signal()
 	return true
+}
+
+// popLocked removes and returns the head message. Caller holds mu and has
+// checked count > 0.
+func (mb *mailbox) popLocked() *Message {
+	m := mb.buf[mb.head]
+	mb.buf[mb.head] = nil // release for GC
+	mb.head = (mb.head + 1) % len(mb.buf)
+	mb.count--
+	return m
 }
 
 // pop dequeues the next message, blocking until one is available or the
@@ -50,34 +114,30 @@ func (mb *mailbox) pushFront(m *Message) bool {
 func (mb *mailbox) pop() (m *Message, ok bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for len(mb.q) == 0 && !mb.closed {
+	for mb.count == 0 && !mb.closed {
 		mb.cond.Wait()
 	}
-	if len(mb.q) == 0 {
+	if mb.count == 0 {
 		return nil, false
 	}
-	m = mb.q[0]
-	mb.q = mb.q[1:]
-	return m, true
+	return mb.popLocked(), true
 }
 
 // tryPop dequeues without blocking.
 func (mb *mailbox) tryPop() (m *Message, ok bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	if len(mb.q) == 0 {
+	if mb.count == 0 {
 		return nil, false
 	}
-	m = mb.q[0]
-	mb.q = mb.q[1:]
-	return m, true
+	return mb.popLocked(), true
 }
 
 // len returns the current queue length.
 func (mb *mailbox) len() int {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	return len(mb.q)
+	return mb.count
 }
 
 // close wakes any blocked pop and makes future pushes fail.

@@ -60,6 +60,71 @@ func TestMailboxTryPop(t *testing.T) {
 	}
 }
 
+func TestMailboxPushAll(t *testing.T) {
+	mb := newMailbox()
+	mb.push(&Message{MID: 0})
+	batch := make([]*Message, 50)
+	for i := range batch {
+		batch[i] = &Message{MID: int32(i + 1)}
+	}
+	if !mb.pushAll(batch) {
+		t.Fatal("pushAll failed")
+	}
+	if !mb.pushAll(nil) {
+		t.Fatal("empty pushAll failed")
+	}
+	if mb.len() != 51 {
+		t.Fatalf("len = %d, want 51", mb.len())
+	}
+	for i := 0; i < 51; i++ {
+		m, ok := mb.pop()
+		if !ok || m.MID != int32(i) {
+			t.Fatalf("pop %d: got %v ok=%v", i, m, ok)
+		}
+	}
+	mb.close()
+	if mb.pushAll(batch) {
+		t.Error("pushAll after close succeeded")
+	}
+}
+
+// TestMailboxRingWraparound drives the head index around the ring repeatedly,
+// interleaving pushFront, to exercise wraparound and growth together.
+func TestMailboxRingWraparound(t *testing.T) {
+	mb := newMailbox()
+	next := int32(0)   // next value to push
+	expect := int32(0) // next value expected from pop
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 7; i++ {
+			mb.push(&Message{MID: next})
+			next++
+		}
+		// A pushFront followed by an immediate pop must not disturb FIFO order
+		// of the rest.
+		mb.pushFront(&Message{MID: -1})
+		if m, _ := mb.pop(); m.MID != -1 {
+			t.Fatalf("round %d: pushFront not first: %d", round, m.MID)
+		}
+		for i := 0; i < 5; i++ {
+			m, ok := mb.pop()
+			if !ok || m.MID != expect {
+				t.Fatalf("round %d: pop got %v ok=%v, want %d", round, m, ok, expect)
+			}
+			expect++
+		}
+	}
+	for expect < next {
+		m, ok := mb.pop()
+		if !ok || m.MID != expect {
+			t.Fatalf("drain: got %v ok=%v, want %d", m, ok, expect)
+		}
+		expect++
+	}
+	if mb.len() != 0 {
+		t.Fatalf("len = %d after drain", mb.len())
+	}
+}
+
 func TestMailboxConcurrentProducers(t *testing.T) {
 	mb := newMailbox()
 	const producers, each = 8, 500

@@ -113,7 +113,16 @@ func newPEState(rt *Runtime, pe PE) *peState {
 // entry method at a time.
 func (p *peState) loop() {
 	for !p.exiting {
-		m, ok := p.mbox.pop()
+		m, ok := p.mbox.tryPop()
+		if !ok {
+			// Idle hook: before blocking, push out any aggregation batches this
+			// (or any) PE has pending so remote work is not stranded behind the
+			// flush timer while we have nothing to do.
+			if p.rt.agg != nil {
+				p.rt.agg.flushAll()
+			}
+			m, ok = p.mbox.pop()
+		}
 		if !ok {
 			break
 		}

@@ -107,16 +107,13 @@ func (pr Proxy) invoke(method string, args []any, fut FutureRef) {
 		m.Src = pr.p.pe
 	}
 	if rt.cfg.Dispatch == StaticDispatch {
-		if meta := rt.collMeta(pr.CID); meta != nil {
-			rt.mu.Lock()
-			ct := rt.types[meta.Type]
-			rt.mu.Unlock()
-			if ct != nil {
-				if info, ok := ct.byName[method]; ok {
-					m.MID = info.id
-				} else {
-					panic(fmt.Sprintf("core: chare type %s has no entry method %q", meta.Type, method))
-				}
+		// meta.ct was resolved once at collection creation; no registry lock
+		// on the per-message path.
+		if meta := rt.collMeta(pr.CID); meta != nil && meta.ct != nil {
+			if info, ok := meta.ct.byName[method]; ok {
+				m.MID = info.id
+			} else {
+				panic(fmt.Sprintf("core: chare type %s has no entry method %q", meta.Type, method))
 			}
 		}
 	}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"charmgo/internal/ser"
 	"charmgo/internal/trace"
@@ -57,6 +59,17 @@ type Config struct {
 	// Trace, when non-nil, records entry-method executions and message
 	// sends (Projections-style performance tracing; internal/trace).
 	Trace *trace.Tracer
+	// BatchBytes is the TRAM-style aggregation threshold for cross-node
+	// sends: small frames destined for the same node are coalesced into one
+	// batch frame, transmitted when it reaches this size, when a PE runs out
+	// of work, or when FlushInterval elapses. 0 selects the default
+	// (8 KiB); a negative value disables aggregation (every message is its
+	// own transport frame, as in plain Charm++ without TRAM).
+	BatchBytes int
+	// FlushInterval is the background flush period for partially filled
+	// batches — the latency bound for aggregated messages when every PE is
+	// busy. 0 selects the default (100us).
+	FlushInterval time.Duration
 }
 
 // Runtime is one node of a charmgo job: it hosts PEs, the chare-type
@@ -74,8 +87,12 @@ type Runtime struct {
 	maps     map[string]ArrayMap
 	reducers map[string]ReducerFunc
 
-	collMu sync.RWMutex
-	colls  map[CID]*createMsg // collection metadata, known on every node
+	// Collection metadata, known on every node. Read on every proxy invoke
+	// (method-id resolution, routing), written only when a collection is
+	// created, so it is kept as a copy-on-write map behind an atomic pointer:
+	// readers never take a lock, writers copy under collWrMu.
+	collWrMu sync.Mutex
+	colls    atomic.Pointer[map[CID]*createMsg]
 
 	locMu    sync.Mutex
 	locCache map[CID]map[string]PE // last-known element locations (hints)
@@ -90,10 +107,12 @@ type Runtime struct {
 
 	qd qdState
 
-	// test/diagnostic hooks
-	statsMu    sync.Mutex
-	nMsgsLocal int64
-	nMsgsWire  int64
+	wt  *wireTables // method-name interning, built at Start
+	agg *aggregator // cross-node send aggregation; nil when disabled
+
+	// test/diagnostic counters (atomics; the send path is hot)
+	nMsgsLocal atomic.Int64
+	nMsgsWire  atomic.Int64
 }
 
 // NewRuntime creates a node runtime. Register chare types on it, then call
@@ -107,10 +126,11 @@ func NewRuntime(cfg Config) *Runtime {
 		types:    map[string]*chareType{},
 		maps:     map[string]ArrayMap{},
 		reducers: map[string]ReducerFunc{},
-		colls:    map[CID]*createMsg{},
 		locCache: map[CID]map[string]PE{},
 		done:     make(chan struct{}),
 	}
+	empty := map[CID]*createMsg{}
+	rt.colls.Store(&empty)
 	if cfg.Transport != nil {
 		rt.nodeID = cfg.Transport.NodeID()
 		rt.numNodes = cfg.Transport.NumNodes()
@@ -150,11 +170,17 @@ func (rt *Runtime) Start(entry func(self *Chare)) {
 		panic("core: Start called twice")
 	}
 	rt.entry = entry
+	rt.mu.Lock()
+	rt.wt = buildWireTables(rt.types)
+	rt.mu.Unlock()
 	rt.pes = make([]*peState, rt.cfg.PEs)
 	for i := 0; i < rt.cfg.PEs; i++ {
 		rt.pes[i] = newPEState(rt, rt.basePE+PE(i))
 	}
 	if tr := rt.cfg.Transport; tr != nil {
+		if rt.numNodes > 1 && rt.cfg.BatchBytes >= 0 {
+			rt.agg = newAggregator(rt, rt.cfg.BatchBytes, rt.cfg.FlushInterval)
+		}
 		tr.SetHandler(rt.onFrame)
 	}
 	for _, p := range rt.pes {
@@ -168,6 +194,9 @@ func (rt *Runtime) Start(entry func(self *Chare)) {
 		rt.pes[0].mbox.push(&Message{Kind: mStartMain, Src: -1})
 	}
 	rt.wg.Wait()
+	if rt.agg != nil {
+		rt.agg.shutdown()
+	}
 	close(rt.done)
 }
 
@@ -176,11 +205,17 @@ func (rt *Runtime) Start(entry func(self *Chare)) {
 func (rt *Runtime) Exit() {
 	rt.exitFn.Do(func() {
 		rt.exited.Store(true)
-		if tr := rt.cfg.Transport; tr != nil {
-			frame := encodeMsg(-1, &Message{Kind: mExit, Src: -1})
+		if rt.cfg.Transport != nil {
+			if rt.agg != nil {
+				// Preserve ordering: pending application traffic must reach
+				// peers before the exit frame.
+				rt.agg.flushAll()
+			}
+			exit := &Message{Kind: mExit, Src: -1}
 			for n := 0; n < rt.numNodes; n++ {
 				if n != rt.nodeID {
-					tr.Send(n, frame) //nolint:errcheck // peer may already be down
+					// xmit swallows errors once exited; a peer may be down
+					rt.xmit(n, appendMsg(transport.GetBuf(), -1, exit, rt.wt))
 				}
 			}
 		}
@@ -225,34 +260,54 @@ func (rt *Runtime) send(pe PE, m *Message) {
 	}
 	if rt.isLocal(pe) {
 		if rt.cfg.ForceSerialize && serializableKind(m.Kind) {
-			frame := encodeMsg(pe, m)
-			_, m2, err := decodeMsg(frame)
+			frame := appendMsg(transport.GetBuf(), pe, m, rt.wt)
+			_, m2, err := decodeMsgWT(frame[transport.PrefixLen:], rt.wt)
+			transport.PutBuf(frame)
 			if err != nil {
 				panic("core: ForceSerialize roundtrip: " + err.Error())
 			}
 			rt.rebindMsg(m2)
 			m = m2
 		}
-		rt.statAdd(&rt.nMsgsLocal)
+		rt.nMsgsLocal.Add(1)
 		rt.localPE(pe).mbox.push(m)
 		return
 	}
-	rt.statAdd(&rt.nMsgsWire)
-	frame := encodeMsg(pe, m)
-	if err := rt.cfg.Transport.Send(rt.nodeOf(pe), frame); err != nil && !rt.exited.Load() {
-		panic(fmt.Sprintf("core: transport send to PE %d: %v", pe, err))
+	rt.nMsgsWire.Add(1)
+	node := rt.nodeOf(pe)
+	if rt.agg != nil {
+		rt.agg.send(node, pe, m)
+		return
+	}
+	rt.xmit(node, appendMsg(transport.GetBuf(), pe, m, rt.wt))
+}
+
+// xmit hands a pooled frame buffer (from transport.GetBuf, payload after
+// the reserved prefix) to the transport, using the zero-copy SendBuf path
+// when available. It takes ownership of buf.
+func (rt *Runtime) xmit(node int, buf []byte) {
+	var err error
+	if bs, ok := rt.cfg.Transport.(transport.BufSender); ok {
+		err = bs.SendBuf(node, buf)
+	} else {
+		err = rt.cfg.Transport.Send(node, buf[transport.PrefixLen:])
+		transport.PutBuf(buf)
+	}
+	if err != nil && !rt.exited.Load() {
+		panic(fmt.Sprintf("core: transport send to node %d: %v", node, err))
 	}
 }
 
 // bcastAllPEs delivers a copy of m to every PE in the job.
 func (rt *Runtime) bcastAllPEs(m *Message) {
 	if rt.numNodes > 1 {
-		frame := encodeMsg(-1, m)
 		for n := 0; n < rt.numNodes; n++ {
 			if n != rt.nodeID {
 				rt.qdCountSend(m.Kind) // the frame itself, matched at ingress
-				if err := rt.cfg.Transport.Send(n, frame); err != nil && !rt.exited.Load() {
-					panic(fmt.Sprintf("core: transport broadcast: %v", err))
+				if rt.agg != nil {
+					rt.agg.send(n, -1, m)
+				} else {
+					rt.xmit(n, appendMsg(transport.GetBuf(), -1, m, rt.wt))
 				}
 			}
 		}
@@ -268,57 +323,115 @@ func (rt *Runtime) deliverAllLocal(m *Message) {
 	}
 }
 
-// onFrame handles an inbound frame from another node.
+// onFrame handles an inbound frame from another node. Frames may arrive
+// through the zero-copy SendBuf path, in which case they are only valid for
+// the duration of this call — decodeMsgWT copies everything it returns.
 func (rt *Runtime) onFrame(from int, frame []byte) {
-	dest, m, err := decodeMsg(frame)
+	if len(frame) >= 4 && int32(binary.LittleEndian.Uint32(frame)) == batchDest {
+		rt.onBatch(from, frame[4:])
+		return
+	}
+	if m, dest, local := rt.ingress(from, frame); local {
+		rt.localPE(dest).mbox.push(m)
+	}
+}
+
+// onBatch de-batches an aggregated frame. Messages bound for local PEs are
+// collected and pushed into each mailbox in bulk (one lock acquisition and
+// wakeup per PE per batch instead of per message).
+func (rt *Runtime) onBatch(from int, body []byte) {
+	perPE := make([][]*Message, rt.cfg.PEs)
+	flush := func() {
+		for i, ms := range perPE {
+			if len(ms) > 0 {
+				rt.pes[i].mbox.pushAll(ms)
+				perPE[i] = perPE[i][:0]
+			}
+		}
+	}
+	for len(body) > 0 {
+		if len(body) < 4 {
+			panic(fmt.Sprintf("core: truncated batch frame from node %d", from))
+		}
+		n := binary.LittleEndian.Uint32(body)
+		body = body[4:]
+		if uint64(n) > uint64(len(body)) {
+			panic(fmt.Sprintf("core: bad sub-frame length %d from node %d", n, from))
+		}
+		sub := body[:n]
+		body = body[n:]
+		// A sub-frame that ingress delivers itself (broadcast, forward, exit)
+		// must not overtake the unicasts batched before it: flush first.
+		if n >= 4 {
+			if d := int32(binary.LittleEndian.Uint32(sub)); d < 0 || !rt.isLocal(PE(d)) {
+				flush()
+			}
+		}
+		m, dest, local := rt.ingress(from, sub)
+		if local {
+			i := int(dest - rt.basePE)
+			perPE[i] = append(perPE[i], m)
+		} else if m != nil && m.Kind == mExit {
+			return
+		}
+	}
+	flush()
+}
+
+// ingress decodes and routes one inbound frame. It returns (m, dest, true)
+// when the message is a unicast for a local PE (the caller enqueues it), and
+// handles every other case itself.
+func (rt *Runtime) ingress(from int, frame []byte) (*Message, PE, bool) {
+	dest, m, err := decodeMsgWT(frame, rt.wt)
 	if err != nil {
 		panic(fmt.Sprintf("core: bad frame from node %d: %v", from, err))
 	}
 	rt.rebindMsg(m)
 	if m.Kind == mExit {
 		rt.localExit()
-		return
+		return m, 0, false
 	}
 	if dest < 0 {
 		rt.qdCountRecv(m.Kind) // the broadcast frame; copies counted per-PE
 		rt.deliverAllLocal(m)
-		return
+		return nil, 0, false
 	}
 	if !rt.isLocal(dest) {
 		// mis-routed (e.g. stale location): count as received here, then
 		// forward (the forward counts as a fresh send)
 		rt.qdCountRecv(m.Kind)
 		rt.send(dest, m)
-		return
+		return nil, 0, false
 	}
-	rt.localPE(dest).mbox.push(m)
-}
-
-func (rt *Runtime) statAdd(p *int64) {
-	rt.statsMu.Lock()
-	*p++
-	rt.statsMu.Unlock()
+	return m, dest, true
 }
 
 // MsgCounts returns (local, wire) message counts; used by tests and benches.
 func (rt *Runtime) MsgCounts() (local, wire int64) {
-	rt.statsMu.Lock()
-	defer rt.statsMu.Unlock()
-	return rt.nMsgsLocal, rt.nMsgsWire
+	return rt.nMsgsLocal.Load(), rt.nMsgsWire.Load()
 }
 
 // collection metadata
 
 func (rt *Runtime) putCollMeta(cm *createMsg) {
-	rt.collMu.Lock()
-	rt.colls[cm.CID] = cm
-	rt.collMu.Unlock()
+	if cm.ct == nil {
+		rt.mu.Lock()
+		cm.ct = rt.types[cm.Type] // may stay nil for types unknown here
+		rt.mu.Unlock()
+	}
+	rt.collWrMu.Lock()
+	old := *rt.colls.Load()
+	next := make(map[CID]*createMsg, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[cm.CID] = cm
+	rt.colls.Store(&next)
+	rt.collWrMu.Unlock()
 }
 
 func (rt *Runtime) collMeta(cid CID) *createMsg {
-	rt.collMu.RLock()
-	defer rt.collMu.RUnlock()
-	return rt.colls[cid]
+	return (*rt.colls.Load())[cid]
 }
 
 // location cache (hints only; authoritative state lives at home PEs)

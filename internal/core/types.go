@@ -73,13 +73,16 @@ const (
 	mChanMsg
 )
 
-// idxKey converts an element index to a compact map key.
+// idxKey converts an element index to a compact map key. The scratch buffer
+// has a constant size so it stays on the stack (a make with a cap derived
+// from len(idx) would heap-allocate on every call); only the final string
+// conversion allocates. Indexes deeper than 4 dimensions spill into append's
+// own growth.
 func idxKey(idx []int) string {
-	var b [binary.MaxVarintLen64]byte
-	out := make([]byte, 0, 4*len(idx))
+	var buf [4 * binary.MaxVarintLen64]byte
+	out := buf[:0]
 	for _, v := range idx {
-		n := binary.PutVarint(b[:], int64(v))
-		out = append(out, b[:n]...)
+		out = binary.AppendVarint(out, int64(v))
 	}
 	return string(out)
 }
@@ -195,6 +198,11 @@ type createMsg struct {
 	Args    []any
 	Creator PE
 	NoInit  bool // restore path: elements arrive via migration, skip ctor
+
+	// ct is the locally resolved registration record for Type, filled by
+	// putCollMeta so the send path resolves method ids without locking the
+	// registry per call. Unexported: node-local, never serialized by gob.
+	ct *chareType
 }
 
 type insertMsg struct {

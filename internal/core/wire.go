@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"sort"
 
 	"charmgo/internal/ser"
 )
@@ -23,47 +24,139 @@ func init() {
 	}
 }
 
-// encodeMsg serializes a message for the wire. dest < 0 means node-level
-// broadcast (deliver to every PE of the receiving node).
+// Wire format (v2). A frame is:
 //
-// The hot kinds (mInvoke, mFutureSet) use a compact custom encoding whose
-// argument lists go through internal/ser (direct-copy numeric buffers, gob
-// fallback); everything else is gob-encoded wholesale.
+//	[4B LE dest PE][1B kind][kind-specific body]
+//
+// dest < 0 means node-level broadcast (deliver to every PE of the receiving
+// node). The hot kinds (mInvoke, mFutureSet) use a compact custom encoding
+// whose headers are varints and whose argument lists go through internal/ser
+// (direct-copy numeric buffers, gob fallback); everything else is
+// gob-encoded wholesale.
+//
+// Aggregated (TRAM-style) traffic uses a batch frame instead:
+//
+//	[4B LE batchDest][ [4B LE len][frame] ... ]
+//
+// where batchDest is the reserved pseudo-destination -2. Both frame shapes
+// may arrive from any peer, so batched and unbatched nodes interoperate.
+//
+// Entry-method names in mInvoke frames are interned against the wireTables
+// built from the chare-type registry: since every node registers the same
+// types before Start (a documented requirement the deterministic dispatch
+// ids already rely on), both sides derive an identical sorted name table,
+// and hot invokes ship a 1-2 byte id instead of the method string. Unknown
+// names (never produced by registered types, but possible for hand-built
+// messages) fall back to inline strings.
+
+// batchDest is the reserved pseudo-destination marking a batch frame.
+const batchDest = int32(-2)
+
+// wireTables is the deterministic method-name interning table. It is built
+// once at Runtime.Start from the registered chare types and read-only
+// afterwards, so frame encode/decode can use it without locks.
+type wireTables struct {
+	names []string         // interned id -> method name
+	ids   map[string]int32 // method name -> interned id
+}
+
+func buildWireTables(types map[string]*chareType) *wireTables {
+	seen := map[string]bool{}
+	for _, ct := range types {
+		for _, mi := range ct.methods {
+			seen[mi.name] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	wt := &wireTables{names: names, ids: make(map[string]int32, len(names))}
+	for i, n := range names {
+		wt.ids[n] = int32(i)
+	}
+	return wt
+}
+
+// encodeMsg serializes a message into a fresh frame without interning.
+// Hot paths use appendMsg with a pooled buffer and the runtime's tables.
 func encodeMsg(dest PE, m *Message) []byte {
-	var buf bytes.Buffer
-	var b4 [4]byte
-	binary.LittleEndian.PutUint32(b4[:], uint32(int32(dest)))
-	buf.Write(b4[:])
-	buf.WriteByte(byte(m.Kind))
+	return appendMsg(nil, dest, m, nil)
+}
+
+// appendMsg appends the frame for m to dst and returns the extended slice.
+// With a pooled, pre-sized dst it performs no allocations outside the gob
+// fallback. wt may be nil (method names are then shipped as strings).
+func appendMsg(dst []byte, dest PE, m *Message, wt *wireTables) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(dest)))
+	dst = append(dst, byte(m.Kind))
 	switch m.Kind {
 	case mInvoke:
-		writeI32(&buf, int32(m.CID))
-		writeI32(&buf, int32(m.Src))
-		writeI32(&buf, m.MID)
-		writeI32(&buf, int32(m.Fut.PE))
-		writeVarint(&buf, m.Fut.ID)
-		writeString(&buf, m.Method)
-		writeIdx(&buf, m.Idx)
-		if err := ser.EncodeArgs(&buf, m.Args); err != nil {
+		dst = binary.AppendVarint(dst, int64(m.CID))
+		dst = binary.AppendVarint(dst, int64(m.Src))
+		dst = binary.AppendVarint(dst, int64(m.MID))
+		dst = binary.AppendVarint(dst, int64(m.Fut.PE))
+		dst = binary.AppendVarint(dst, m.Fut.ID)
+		dst = appendMethod(dst, m.Method, wt)
+		dst = appendIdx(dst, m.Idx)
+		var err error
+		if dst, err = ser.AppendArgs(dst, m.Args); err != nil {
 			panic(fmt.Sprintf("core: cannot serialize arguments of %s: %v", m.Method, err))
 		}
 	case mFutureSet:
 		fs := m.Ctl.(*futSetMsg)
-		writeI32(&buf, int32(fs.Ref.PE))
-		writeVarint(&buf, fs.Ref.ID)
-		if err := ser.EncodeArgs(&buf, []any{fs.Val}); err != nil {
+		dst = binary.AppendVarint(dst, int64(fs.Ref.PE))
+		dst = binary.AppendVarint(dst, fs.Ref.ID)
+		var err error
+		if dst, err = ser.AppendArgs(dst, []any{fs.Val}); err != nil {
 			panic(fmt.Sprintf("core: cannot serialize future value: %v", err))
 		}
 	default:
-		enc := gob.NewEncoder(&buf)
+		// Cold path (control traffic): gob into a scratch buffer and copy.
+		// Writing through a pointer to dst instead would make the slice
+		// header escape and cost the hot kinds an allocation per call.
+		var gb bytes.Buffer
+		enc := gob.NewEncoder(&gb)
 		if err := enc.Encode(m); err != nil {
 			panic(fmt.Sprintf("core: cannot serialize control message kind %d: %v", m.Kind, err))
 		}
+		dst = append(dst, gb.Bytes()...)
 	}
-	return buf.Bytes()
+	return dst
 }
 
+// appendMethod writes uvarint(id+1) for interned names, or 0 followed by the
+// inline string for names absent from the table.
+func appendMethod(dst []byte, method string, wt *wireTables) []byte {
+	if wt != nil {
+		if id, ok := wt.ids[method]; ok {
+			return binary.AppendUvarint(dst, uint64(id)+1)
+		}
+	}
+	dst = append(dst, 0)
+	dst = binary.AppendUvarint(dst, uint64(len(method)))
+	return append(dst, method...)
+}
+
+// appendIdx encodes an index; 0 length marker means nil (broadcast).
+func appendIdx(dst []byte, idx []int) []byte {
+	if idx == nil {
+		return append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(idx)+1))
+	for _, v := range idx {
+		dst = binary.AppendVarint(dst, int64(v))
+	}
+	return dst
+}
+
+// decodeMsg decodes a frame without interning tables (test/diagnostic use).
 func decodeMsg(frame []byte) (PE, *Message, error) {
+	return decodeMsgWT(frame, nil)
+}
+
+func decodeMsgWT(frame []byte, wt *wireTables) (PE, *Message, error) {
 	if len(frame) < 5 {
 		return 0, nil, fmt.Errorf("short frame (%d bytes)", len(frame))
 	}
@@ -72,15 +165,20 @@ func decodeMsg(frame []byte) (PE, *Message, error) {
 	body := frame[5:]
 	switch kind {
 	case mInvoke:
-		m := &Message{Kind: mInvoke}
+		// One allocation covers the message and its (typically ≤4-dim)
+		// element index: m.Idx points into box.idx, which lives exactly as
+		// long as the message itself.
+		box := &invokeBox{}
+		m := &box.m
+		m.Kind = mInvoke
 		r := &reader{b: body}
-		m.CID = CID(r.i32())
-		m.Src = PE(r.i32())
-		m.MID = r.i32()
-		m.Fut.PE = PE(r.i32())
+		m.CID = CID(r.varint())
+		m.Src = PE(r.varint())
+		m.MID = int32(r.varint())
+		m.Fut.PE = PE(r.varint())
 		m.Fut.ID = r.varint()
-		m.Method = r.str()
-		m.Idx = r.idx()
+		m.Method = r.method(wt)
+		m.Idx = r.idxInto(box.idx[:0])
 		if r.err != nil {
 			return 0, nil, r.err
 		}
@@ -92,7 +190,7 @@ func decodeMsg(frame []byte) (PE, *Message, error) {
 		return dest, m, nil
 	case mFutureSet:
 		r := &reader{b: body}
-		ref := FutureRef{PE: PE(r.i32())}
+		ref := FutureRef{PE: PE(r.varint())}
 		ref.ID = r.varint()
 		if r.err != nil {
 			return 0, nil, r.err
@@ -112,37 +210,11 @@ func decodeMsg(frame []byte) (PE, *Message, error) {
 	}
 }
 
-func writeI32(buf *bytes.Buffer, v int32) {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], uint32(v))
-	buf.Write(b[:])
-}
-
-func writeVarint(buf *bytes.Buffer, v int64) {
-	var b [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(b[:], v)
-	buf.Write(b[:n])
-}
-
-func writeString(buf *bytes.Buffer, s string) {
-	var b [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(b[:], uint64(len(s)))
-	buf.Write(b[:n])
-	buf.WriteString(s)
-}
-
-// writeIdx encodes an index; 0 length marker means nil (broadcast).
-func writeIdx(buf *bytes.Buffer, idx []int) {
-	var b [binary.MaxVarintLen64]byte
-	if idx == nil {
-		buf.WriteByte(0)
-		return
-	}
-	n := binary.PutUvarint(b[:], uint64(len(idx)+1))
-	buf.Write(b[:n])
-	for _, v := range idx {
-		writeVarint(buf, int64(v))
-	}
+// invokeBox bundles a decoded invoke message with a small inline index
+// buffer so the hot decode path performs a single allocation for both.
+type invokeBox struct {
+	m   Message
+	idx [4]int
 }
 
 type reader struct {
@@ -155,16 +227,6 @@ func (r *reader) fail() {
 	if r.err == nil {
 		r.err = fmt.Errorf("truncated message at offset %d", r.pos)
 	}
-}
-
-func (r *reader) i32() int32 {
-	if r.err != nil || r.pos+4 > len(r.b) {
-		r.fail()
-		return 0
-	}
-	v := int32(binary.LittleEndian.Uint32(r.b[r.pos:]))
-	r.pos += 4
-	return v
 }
 
 func (r *reader) varint() int64 {
@@ -194,24 +256,62 @@ func (r *reader) uvarint() uint64 {
 }
 
 func (r *reader) str() string {
-	l := int(r.uvarint())
-	if r.err != nil || r.pos+l > len(r.b) {
+	l := r.uvarint()
+	if r.err != nil || l > uint64(len(r.b)-r.pos) {
 		r.fail()
 		return ""
 	}
-	s := string(r.b[r.pos : r.pos+l])
-	r.pos += l
+	s := string(r.b[r.pos : r.pos+int(l)])
+	r.pos += int(l)
 	return s
 }
 
-func (r *reader) idx() []int {
+// method reads an interned method reference (see appendMethod).
+func (r *reader) method(wt *wireTables) string {
+	ref := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if ref == 0 {
+		return r.str()
+	}
+	id := ref - 1
+	if wt == nil || id >= uint64(len(wt.names)) {
+		if r.err == nil {
+			r.err = fmt.Errorf("unknown interned method id %d", id)
+		}
+		return ""
+	}
+	return wt.names[id]
+}
+
+func (r *reader) idx() []int { return r.idxInto(nil) }
+
+// idxInto decodes an index into buf when it fits, so callers with an inline
+// buffer (see invokeBox) avoid a per-message allocation.
+func (r *reader) idxInto(buf []int) []int {
 	l := r.uvarint()
 	if r.err != nil || l == 0 {
 		return nil
 	}
-	out := make([]int, l-1)
+	// Each index element is at least one varint byte; reject hostile counts
+	// before allocating.
+	if l-1 > uint64(len(r.b)-r.pos) {
+		r.fail()
+		return nil
+	}
+	n := int(l - 1)
+	var out []int
+	if n <= cap(buf) {
+		out = buf[:n]
+	} else {
+		out = make([]int, n)
+	}
 	for i := range out {
 		out[i] = int(r.varint())
+	}
+	if r.err != nil {
+		return nil
 	}
 	return out
 }

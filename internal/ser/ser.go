@@ -10,6 +10,10 @@
 //   - Everything else falls back to encoding/gob (the pickle analog), which
 //     handles arbitrary registered Go types, at a cost.
 //
+// The encoders are append-style (like strconv.AppendInt): they write into a
+// caller-supplied byte slice so a message can be serialized exactly once
+// into a pooled transport frame with no intermediate buffers.
+//
 // The wire format for an argument list is:
 //
 //	uvarint(count) then per argument: tag byte + tag-specific payload.
@@ -49,124 +53,118 @@ func RegisterType(v any) {
 	gob.Register(v)
 }
 
-// EncodeArgs appends the encoded argument list to buf.
+// EncodeArgs appends the encoded argument list to buf. Prefer AppendArgs on
+// hot paths; this wrapper exists for callers already holding a bytes.Buffer.
 func EncodeArgs(buf *bytes.Buffer, args []any) error {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], uint64(len(args)))
-	buf.Write(tmp[:n])
-	for i, a := range args {
-		if err := encodeOne(buf, a); err != nil {
-			return fmt.Errorf("arg %d: %w", i, err)
-		}
+	b, err := AppendArgs(buf.AvailableBuffer(), args)
+	if err != nil {
+		return err
 	}
+	buf.Write(b)
 	return nil
 }
 
-func putUvarint(buf *bytes.Buffer, v uint64) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], v)
-	buf.Write(tmp[:n])
+// AppendArgs appends the encoded argument list to dst and returns the
+// extended slice. It allocates only when dst lacks capacity (or on the gob
+// fallback path).
+func AppendArgs(dst []byte, args []any) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(args)))
+	var err error
+	for i, a := range args {
+		if dst, err = appendOne(dst, a); err != nil {
+			return dst, fmt.Errorf("arg %d: %w", i, err)
+		}
+	}
+	return dst, nil
 }
 
-func putVarint(buf *bytes.Buffer, v int64) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(tmp[:], v)
-	buf.Write(tmp[:n])
-}
-
-func encodeOne(buf *bytes.Buffer, a any) error {
+func appendOne(dst []byte, a any) ([]byte, error) {
 	switch v := a.(type) {
 	case nil:
-		buf.WriteByte(tagNil)
+		dst = append(dst, tagNil)
 	case bool:
 		if v {
-			buf.WriteByte(tagTrue)
+			dst = append(dst, tagTrue)
 		} else {
-			buf.WriteByte(tagFalse)
+			dst = append(dst, tagFalse)
 		}
 	case int:
-		buf.WriteByte(tagInt)
-		putVarint(buf, int64(v))
+		dst = append(dst, tagInt)
+		dst = binary.AppendVarint(dst, int64(v))
 	case int64:
-		buf.WriteByte(tagInt64)
-		putVarint(buf, v)
+		dst = append(dst, tagInt64)
+		dst = binary.AppendVarint(dst, v)
 	case float64:
-		buf.WriteByte(tagFloat64)
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-		buf.Write(b[:])
+		dst = append(dst, tagFloat64)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	case string:
-		buf.WriteByte(tagString)
-		putUvarint(buf, uint64(len(v)))
-		buf.WriteString(v)
+		dst = append(dst, tagString)
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
 	case []byte:
-		buf.WriteByte(tagBytes)
-		putUvarint(buf, uint64(len(v)))
-		buf.Write(v)
+		dst = append(dst, tagBytes)
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
 	case []float64:
-		buf.WriteByte(tagF64Slice)
-		putUvarint(buf, uint64(len(v)))
-		writeF64s(buf, v)
-	case []float32:
-		buf.WriteByte(tagF32Slice)
-		putUvarint(buf, uint64(len(v)))
-		var b [4]byte
+		dst = append(dst, tagF64Slice)
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
 		for _, f := range v {
-			binary.LittleEndian.PutUint32(b[:], math.Float32bits(f))
-			buf.Write(b[:])
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+		}
+	case []float32:
+		dst = append(dst, tagF32Slice)
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		for _, f := range v {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(f))
 		}
 	case []int64:
-		buf.WriteByte(tagI64Slice)
-		putUvarint(buf, uint64(len(v)))
-		var b [8]byte
+		dst = append(dst, tagI64Slice)
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
 		for _, x := range v {
-			binary.LittleEndian.PutUint64(b[:], uint64(x))
-			buf.Write(b[:])
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(x))
 		}
 	case []int32:
-		buf.WriteByte(tagI32Slice)
-		putUvarint(buf, uint64(len(v)))
-		var b [4]byte
+		dst = append(dst, tagI32Slice)
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
 		for _, x := range v {
-			binary.LittleEndian.PutUint32(b[:], uint32(x))
-			buf.Write(b[:])
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(x))
 		}
 	case []int:
-		buf.WriteByte(tagIntSlice)
-		putUvarint(buf, uint64(len(v)))
-		var b [8]byte
+		dst = append(dst, tagIntSlice)
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
 		for _, x := range v {
-			binary.LittleEndian.PutUint64(b[:], uint64(x))
-			buf.Write(b[:])
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(x))
 		}
 	default:
-		// gob fallback (pickle analog)
-		buf.WriteByte(tagGob)
+		// gob fallback (pickle analog). Encode via the type-switch variable,
+		// not &a: taking the parameter's address would make every appendOne
+		// call heap-allocate its argument, including the scalar fast paths.
+		dst = append(dst, tagGob)
 		var gb bytes.Buffer
 		enc := gob.NewEncoder(&gb)
-		if err := enc.Encode(&a); err != nil {
-			return fmt.Errorf("gob encode %T: %w", a, err)
+		if err := enc.Encode(&v); err != nil {
+			return dst, fmt.Errorf("gob encode %T: %w", v, err)
 		}
-		putUvarint(buf, uint64(gb.Len()))
-		buf.Write(gb.Bytes())
+		dst = binary.AppendUvarint(dst, uint64(gb.Len()))
+		dst = append(dst, gb.Bytes()...)
 	}
-	return nil
+	return dst, nil
 }
 
-func writeF64s(buf *bytes.Buffer, v []float64) {
-	var b [8]byte
-	for _, f := range v {
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
-		buf.Write(b[:])
-	}
-}
-
-// DecodeArgs decodes an argument list produced by EncodeArgs and returns the
-// arguments and the number of bytes consumed.
+// DecodeArgs decodes an argument list produced by AppendArgs/EncodeArgs and
+// returns the arguments and the number of bytes consumed. It is hardened
+// against hostile input: declared lengths are validated against the bytes
+// actually present before any allocation or multiplication, so truncated or
+// corrupt frames fail with an error rather than overflowing or exhausting
+// memory.
 func DecodeArgs(data []byte) ([]any, int, error) {
 	count, n := binary.Uvarint(data)
 	if n <= 0 {
 		return nil, 0, fmt.Errorf("bad argument count")
+	}
+	// Every argument occupies at least its 1-byte tag.
+	if count > uint64(len(data)-n) {
+		return nil, 0, fmt.Errorf("argument count %d exceeds %d remaining bytes", count, len(data)-n)
 	}
 	pos := n
 	args := make([]any, 0, count)
@@ -187,20 +185,19 @@ func decodeOne(data []byte) (any, int, error) {
 	}
 	tag := data[0]
 	pos := 1
-	need := func(k int) error {
-		if len(data) < pos+k {
-			return fmt.Errorf("truncated payload (tag %d)", tag)
-		}
-		return nil
-	}
-	readLen := func() (int, error) {
+	// readCount reads a declared element count and validates it against the
+	// bytes remaining, given a fixed element size. Doing the bound check by
+	// division (count > remaining/size) cannot overflow, unlike the naive
+	// need(size*count).
+	readCount := func(elemSize int) (int, error) {
 		v, n := binary.Uvarint(data[pos:])
 		if n <= 0 {
 			return 0, fmt.Errorf("bad length (tag %d)", tag)
 		}
 		pos += n
-		if v > uint64(len(data)) {
-			return 0, fmt.Errorf("length %d exceeds data (tag %d)", v, tag)
+		if v > uint64((len(data)-pos)/elemSize) {
+			return 0, fmt.Errorf("declared length %d exceeds %d remaining bytes (tag %d)",
+				v, len(data)-pos, tag)
 		}
 		return int(v), nil
 	}
@@ -224,37 +221,28 @@ func decodeOne(data []byte) (any, int, error) {
 		}
 		return v, pos + n, nil
 	case tagFloat64:
-		if err := need(8); err != nil {
-			return nil, 0, err
+		if len(data)-pos < 8 {
+			return nil, 0, fmt.Errorf("truncated payload (tag %d)", tag)
 		}
 		v := math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
 		return v, pos + 8, nil
 	case tagString:
-		l, err := readLen()
+		l, err := readCount(1)
 		if err != nil {
-			return nil, 0, err
-		}
-		if err := need(l); err != nil {
 			return nil, 0, err
 		}
 		return string(data[pos : pos+l]), pos + l, nil
 	case tagBytes:
-		l, err := readLen()
+		l, err := readCount(1)
 		if err != nil {
-			return nil, 0, err
-		}
-		if err := need(l); err != nil {
 			return nil, 0, err
 		}
 		out := make([]byte, l)
 		copy(out, data[pos:pos+l])
 		return out, pos + l, nil
 	case tagF64Slice:
-		l, err := readLen()
+		l, err := readCount(8)
 		if err != nil {
-			return nil, 0, err
-		}
-		if err := need(8 * l); err != nil {
 			return nil, 0, err
 		}
 		out := make([]float64, l)
@@ -263,11 +251,8 @@ func decodeOne(data []byte) (any, int, error) {
 		}
 		return out, pos + 8*l, nil
 	case tagF32Slice:
-		l, err := readLen()
+		l, err := readCount(4)
 		if err != nil {
-			return nil, 0, err
-		}
-		if err := need(4 * l); err != nil {
 			return nil, 0, err
 		}
 		out := make([]float32, l)
@@ -276,11 +261,8 @@ func decodeOne(data []byte) (any, int, error) {
 		}
 		return out, pos + 4*l, nil
 	case tagI64Slice:
-		l, err := readLen()
+		l, err := readCount(8)
 		if err != nil {
-			return nil, 0, err
-		}
-		if err := need(8 * l); err != nil {
 			return nil, 0, err
 		}
 		out := make([]int64, l)
@@ -289,11 +271,8 @@ func decodeOne(data []byte) (any, int, error) {
 		}
 		return out, pos + 8*l, nil
 	case tagI32Slice:
-		l, err := readLen()
+		l, err := readCount(4)
 		if err != nil {
-			return nil, 0, err
-		}
-		if err := need(4 * l); err != nil {
 			return nil, 0, err
 		}
 		out := make([]int32, l)
@@ -302,11 +281,8 @@ func decodeOne(data []byte) (any, int, error) {
 		}
 		return out, pos + 4*l, nil
 	case tagIntSlice:
-		l, err := readLen()
+		l, err := readCount(8)
 		if err != nil {
-			return nil, 0, err
-		}
-		if err := need(8 * l); err != nil {
 			return nil, 0, err
 		}
 		out := make([]int, l)
@@ -315,11 +291,8 @@ func decodeOne(data []byte) (any, int, error) {
 		}
 		return out, pos + 8*l, nil
 	case tagGob:
-		l, err := readLen()
+		l, err := readCount(1)
 		if err != nil {
-			return nil, 0, err
-		}
-		if err := need(l); err != nil {
 			return nil, 0, err
 		}
 		var out any

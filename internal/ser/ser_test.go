@@ -118,6 +118,63 @@ func TestDecodeGarbage(t *testing.T) {
 	}
 }
 
+// TestDecodeHostileLengths feeds frames whose declared element counts are
+// absurdly large (including values that would overflow size*count int
+// arithmetic) and checks that DecodeArgs errors instead of allocating or
+// panicking.
+func TestDecodeHostileLengths(t *testing.T) {
+	// uvarint(2^62): multiplying by 8 overflows int64.
+	huge := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x40}
+	sliceTags := []byte{tagString, tagBytes, tagF64Slice, tagF32Slice,
+		tagI64Slice, tagI32Slice, tagIntSlice, tagGob}
+	for _, tag := range sliceTags {
+		frame := append([]byte{0x01, tag}, huge...)
+		frame = append(frame, 1, 2, 3) // a few real bytes, far fewer than declared
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("tag %d: panicked: %v", tag, r)
+				}
+			}()
+			if _, _, err := DecodeArgs(frame); err == nil {
+				t.Errorf("tag %d: huge declared length accepted", tag)
+			}
+		}()
+	}
+	// Hostile argument count with a tiny buffer.
+	if _, _, err := DecodeArgs(append([]byte{}, huge...)); err == nil {
+		t.Error("huge argument count accepted")
+	}
+}
+
+// TestDecodeTruncatedPerTag truncates a frame of every slice flavour at every
+// byte offset; no prefix may panic or return an over-long slice.
+func TestDecodeTruncatedPerTag(t *testing.T) {
+	args := []any{
+		"four", []byte{9, 8, 7}, []float64{1, 2}, []float32{3},
+		[]int64{-4}, []int32{5, 6}, []int{7}, custom{Name: "g"},
+	}
+	RegisterType(custom{})
+	var buf bytes.Buffer
+	if err := EncodeArgs(&buf, args); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("cut %d: panicked: %v", cut, r)
+				}
+			}()
+			out, _, _ := DecodeArgs(full[:cut])
+			if len(out) > len(args) {
+				t.Fatalf("cut %d: decoded %d args from a prefix", cut, len(out))
+			}
+		}()
+	}
+}
+
 func TestEncodeValueRoundtrip(t *testing.T) {
 	RegisterType(custom{})
 	b, err := EncodeValue(custom{Name: "migrate", Score: 2})

@@ -10,6 +10,17 @@
 //     process (each node still serializes every frame, like real processes).
 //   - TCP: a real socket transport with length-prefixed frames and a node-id
 //     handshake, usable to run charmgo programs across OS processes/hosts.
+//
+// Both transports implement the optional BufSender fast path: the sender
+// serializes into a pooled buffer (GetBuf) whose first PrefixLen bytes are
+// reserved for the wire length prefix, so the transport can write the frame
+// without re-copying it, and recycle the buffer afterwards.
+//
+// Handler contract: frames delivered through the Send path are private
+// copies and stay valid indefinitely; frames delivered through the SendBuf
+// path are only valid for the duration of the handler call (the buffer is
+// recycled when the handler returns). Handlers that retain a frame must
+// copy it.
 package transport
 
 import (
@@ -19,6 +30,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Handler receives an inbound frame from another node.
@@ -31,12 +44,68 @@ type Transport interface {
 	// NumNodes returns the job's node count.
 	NumNodes() int
 	// Send delivers frame to the given node. It is safe for concurrent use.
+	// The frame is copied before Send returns; the caller keeps ownership.
 	Send(node int, frame []byte) error
 	// SetHandler installs the inbound frame handler. Must be called before
 	// any frame can be delivered.
 	SetHandler(h Handler)
 	// Close releases resources. Subsequent Sends fail.
 	Close() error
+}
+
+// ---- pooled frame buffers (zero-copy send path) ----
+
+// PrefixLen is the number of bytes reserved at the start of every buffer
+// obtained from GetBuf. SendBuf implementations use this headroom for the
+// wire length prefix so the payload never has to be re-copied.
+const PrefixLen = 4
+
+// bufPool holds *[]byte (a slice stored directly would be boxed into the
+// pool's interface slot, costing a 24-byte allocation per Put). The header
+// objects themselves are recycled through hdrPool — pointers convert to
+// interfaces without allocating — so a steady-state Get/Put cycle is
+// allocation-free.
+var (
+	bufPool sync.Pool // *[]byte with a live buffer
+	hdrPool sync.Pool // *[]byte holding nil, awaiting reuse by PutBuf
+)
+
+// GetBuf returns a frame buffer from the pool. Its length is PrefixLen
+// (the reserved prefix); append the payload after it and hand the whole
+// buffer to BufSender.SendBuf, or return it with PutBuf.
+func GetBuf() []byte {
+	if v := bufPool.Get(); v != nil {
+		hp := v.(*[]byte)
+		b := *hp
+		*hp = nil
+		hdrPool.Put(hp)
+		return b[:PrefixLen]
+	}
+	return make([]byte, PrefixLen, 4096)
+}
+
+// PutBuf recycles a buffer obtained from GetBuf (possibly grown by appends).
+func PutBuf(b []byte) {
+	if cap(b) < PrefixLen {
+		return
+	}
+	hp, _ := hdrPool.Get().(*[]byte)
+	if hp == nil {
+		hp = new([]byte)
+	}
+	*hp = b[:PrefixLen]
+	bufPool.Put(hp)
+}
+
+// BufSender is the zero-copy variant of Transport.Send. SendBuf takes
+// ownership of buf, which must have been obtained from GetBuf: the payload
+// is buf[PrefixLen:], and buf[:PrefixLen] is scratch space the transport may
+// fill with its length prefix. The transport writes or delivers the payload
+// without copying it and recycles the buffer with PutBuf when done. Frames
+// that reach the receiving Handler through this path are valid only for the
+// duration of the handler call.
+type BufSender interface {
+	SendBuf(node int, buf []byte) error
 }
 
 // ---- in-memory transport ----
@@ -72,13 +141,13 @@ type MemEndpoint struct {
 	cond *sync.Cond
 	q    []memFrame
 	h    Handler
-	hSet chan struct{} // closed when handler installed
 	done bool
 }
 
 type memFrame struct {
 	from  int
 	frame []byte
+	owned []byte // non-nil: pooled buffer to recycle after the handler runs
 }
 
 // NodeID implements Transport.
@@ -98,18 +167,33 @@ func (e *MemEndpoint) SetHandler(h Handler) {
 // Send implements Transport. The frame is copied, so the caller may reuse
 // its buffer (mirroring what a socket write would do).
 func (e *MemEndpoint) Send(node int, frame []byte) error {
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	return e.enqueue(node, memFrame{from: e.id, frame: cp})
+}
+
+// SendBuf implements BufSender: the payload is delivered to the destination
+// queue without copying, and the buffer is recycled after the destination
+// handler has run.
+func (e *MemEndpoint) SendBuf(node int, buf []byte) error {
+	err := e.enqueue(node, memFrame{from: e.id, frame: buf[PrefixLen:], owned: buf})
+	if err != nil {
+		PutBuf(buf)
+	}
+	return err
+}
+
+func (e *MemEndpoint) enqueue(node int, f memFrame) error {
 	if node < 0 || node >= e.n {
 		return fmt.Errorf("transport: bad node id %d (of %d)", node, e.n)
 	}
 	dst := e.nw.eps[node]
-	cp := make([]byte, len(frame))
-	copy(cp, frame)
 	dst.mu.Lock()
 	if dst.done {
 		dst.mu.Unlock()
 		return errors.New("transport: endpoint closed")
 	}
-	dst.q = append(dst.q, memFrame{from: e.id, frame: cp})
+	dst.q = append(dst.q, f)
 	dst.mu.Unlock()
 	dst.cond.Broadcast()
 	return nil
@@ -131,6 +215,9 @@ func (e *MemEndpoint) pump() {
 		e.mu.Unlock()
 		for _, f := range batch {
 			h(f.from, f.frame)
+			if f.owned != nil {
+				PutBuf(f.owned)
+			}
 		}
 	}
 }
@@ -154,11 +241,11 @@ type TCP struct {
 	id    int
 	addrs []string
 	ln    net.Listener
+	h     atomic.Pointer[Handler] // lock-free read on the per-frame hot path
 
 	mu    sync.Mutex
 	conns map[int]net.Conn
 	wmu   map[int]*sync.Mutex
-	h     Handler
 	ready chan struct{} // closed when all peer conns are up
 	nUp   int
 	done  bool
@@ -182,7 +269,7 @@ func NewTCP(id int, addrs []string) (*TCP, error) {
 	go t.acceptLoop()
 	// Dial lower-numbered peers.
 	for j := 0; j < id; j++ {
-		conn, err := dialRetry(addrs[j])
+		conn, err := dialRetry(addrs[j], 10*time.Second)
 		if err != nil {
 			ln.Close()
 			return nil, fmt.Errorf("transport: dial node %d (%s): %w", j, addrs[j], err)
@@ -204,16 +291,27 @@ func NewTCP(id int, addrs []string) (*TCP, error) {
 	return t, nil
 }
 
-func dialRetry(addr string) (net.Conn, error) {
+// dialRetry dials addr with exponential backoff (peers may not be listening
+// yet during job startup) until it succeeds or the deadline passes.
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	backoff := time.Millisecond
 	var lastErr error
-	for i := 0; i < 200; i++ {
-		conn, err := net.Dial("tcp", addr)
+	for {
+		d := net.Dialer{Deadline: deadline}
+		conn, err := d.Dial("tcp", addr)
 		if err == nil {
 			return conn, nil
 		}
 		lastErr = err
+		if !time.Now().Add(backoff).Before(deadline) {
+			return nil, lastErr
+		}
+		time.Sleep(backoff)
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
 	}
-	return nil, lastErr
 }
 
 // Addr returns the listener's actual address (useful with ":0" addresses).
@@ -256,11 +354,8 @@ func (t *TCP) readLoop(peer int, c net.Conn) {
 		if err != nil {
 			return
 		}
-		t.mu.Lock()
-		h := t.h
-		t.mu.Unlock()
-		if h != nil {
-			h(peer, frame)
+		if hp := t.h.Load(); hp != nil {
+			(*hp)(peer, frame)
 		}
 	}
 }
@@ -288,31 +383,51 @@ func (t *TCP) NodeID() int { return t.id }
 func (t *TCP) NumNodes() int { return len(t.addrs) }
 
 // SetHandler implements Transport.
-func (t *TCP) SetHandler(h Handler) {
+func (t *TCP) SetHandler(h Handler) { t.h.Store(&h) }
+
+// conn returns the connection and write lock for a peer.
+func (t *TCP) conn(node int) (net.Conn, *sync.Mutex, error) {
 	t.mu.Lock()
-	t.h = h
-	t.mu.Unlock()
+	defer t.mu.Unlock()
+	if t.done {
+		return nil, nil, errors.New("transport: closed")
+	}
+	c, ok := t.conns[node]
+	if !ok {
+		return nil, nil, fmt.Errorf("transport: no connection to node %d", node)
+	}
+	return c, t.wmu[node], nil
 }
 
 // Send implements Transport.
 func (t *TCP) Send(node int, frame []byte) error {
-	t.mu.Lock()
-	if t.done {
-		t.mu.Unlock()
-		return errors.New("transport: closed")
-	}
-	c, ok := t.conns[node]
-	wmu := t.wmu[node]
-	t.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("transport: no connection to node %d", node)
+	c, wmu, err := t.conn(node)
+	if err != nil {
+		return err
 	}
 	buf := make([]byte, 4+len(frame))
 	binary.BigEndian.PutUint32(buf[:4], uint32(len(frame)))
 	copy(buf[4:], frame)
 	wmu.Lock()
-	_, err := c.Write(buf)
+	_, err = c.Write(buf)
 	wmu.Unlock()
+	return err
+}
+
+// SendBuf implements BufSender: the length prefix is written into the
+// buffer's reserved headroom and the frame goes out in a single Write with
+// no copying.
+func (t *TCP) SendBuf(node int, buf []byte) error {
+	c, wmu, err := t.conn(node)
+	if err != nil {
+		PutBuf(buf)
+		return err
+	}
+	binary.BigEndian.PutUint32(buf[:PrefixLen], uint32(len(buf)-PrefixLen))
+	wmu.Lock()
+	_, err = c.Write(buf)
+	wmu.Unlock()
+	PutBuf(buf)
 	return err
 }
 

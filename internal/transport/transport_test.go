@@ -81,6 +81,44 @@ func TestMemSendCopiesBuffer(t *testing.T) {
 	}
 }
 
+// TestMemSendBuf exercises the zero-copy path: the pooled frame is handed
+// over whole and recycled after the handler returns.
+func TestMemSendBuf(t *testing.T) {
+	nw := NewMemNetwork(2)
+	mu, got := collectFrames(nw.Endpoint(1))
+	for i := 0; i < 3; i++ {
+		buf := GetBuf()
+		buf = append(buf, []byte(fmt.Sprintf("msg%d", i))...)
+		if err := nw.Endpoint(0).SendBuf(1, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(*got) == 3 })
+	mu.Lock()
+	defer mu.Unlock()
+	for i, g := range *got {
+		if g[1].(string) != fmt.Sprintf("msg%d", i) {
+			t.Errorf("frame %d: got %q", i, g[1])
+		}
+	}
+}
+
+func TestBufPoolRoundtrip(t *testing.T) {
+	b := GetBuf()
+	if len(b) != PrefixLen {
+		t.Fatalf("GetBuf len = %d, want %d", len(b), PrefixLen)
+	}
+	b = append(b, "payload"...)
+	PutBuf(b)
+	b2 := GetBuf()
+	if len(b2) != PrefixLen {
+		t.Fatalf("recycled GetBuf len = %d, want %d", len(b2), PrefixLen)
+	}
+	PutBuf(b2)
+	PutBuf(nil)              // must not panic
+	PutBuf(make([]byte, 1)) // under-prefix buffer is dropped, not pooled
+}
+
 func TestMemClosedEndpoint(t *testing.T) {
 	nw := NewMemNetwork(2)
 	nw.Endpoint(1).Close()
@@ -182,6 +220,60 @@ func TestTCPLargeFrames(t *testing.T) {
 		if s != 1<<20 {
 			t.Errorf("frame size %d", s)
 		}
+	}
+}
+
+// TestTCPSendBuf sends pooled frames over the wire; the length prefix is
+// written into the buffer's reserved headroom, so the payload must arrive
+// intact and unprefixed.
+func TestTCPSendBuf(t *testing.T) {
+	addrs := []string{"127.0.0.1:39131", "127.0.0.1:39132"}
+	var ts [2]*TCP
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ts[i], errs[i] = NewTCP(i, addrs)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer ts[0].Close()
+	defer ts[1].Close()
+	mu, got := collectFrames(ts[1])
+	for i := 0; i < 50; i++ {
+		buf := GetBuf()
+		buf = append(buf, []byte(fmt.Sprintf("%04d", i))...)
+		if err := ts[0].SendBuf(1, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(*got) == 50 })
+	mu.Lock()
+	defer mu.Unlock()
+	for i, g := range *got {
+		if g[1].(string) != fmt.Sprintf("%04d", i) {
+			t.Fatalf("frame %d out of order or corrupt: %q", i, g[1])
+		}
+	}
+}
+
+// TestDialRetryDeadline checks that dialing a dead address fails within the
+// deadline instead of burning a fixed number of instant attempts.
+func TestDialRetryDeadline(t *testing.T) {
+	start := time.Now()
+	_, err := dialRetry("127.0.0.1:39199", 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("dialRetry took %v, deadline not honoured", d)
 	}
 }
 
