@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench vet
+.PHONY: all build test check race bench vet profile
 
 all: build
 
@@ -14,9 +14,10 @@ vet:
 	$(GO) vet ./...
 
 # check is the CI gate for the concurrency-sensitive packages: vet the whole
-# module, then run the runtime core and transport under the race detector.
+# module, then run the runtime core, transport, and metrics registry under
+# the race detector.
 check: vet
-	$(GO) test -race ./internal/core/... ./internal/transport/...
+	$(GO) test -race ./internal/core/... ./internal/transport/... ./internal/metrics/... ./internal/trace/...
 
 race:
 	$(GO) test -race ./...
@@ -24,3 +25,12 @@ race:
 bench:
 	$(GO) test -run xxx -bench BenchmarkRemoteInvokeRate -benchtime 2s .
 	$(GO) test -run xxx -bench 'BenchmarkEncodeMsgInvoke|BenchmarkDecodeMsgInvoke|BenchmarkMailbox' ./internal/core/
+
+# profile runs a traced 2-process stencil3d job under charmrun and validates
+# that the exported timeline is well-formed Chrome trace-event JSON.
+profile:
+	$(GO) build -o /tmp/charmgo-stencil3d ./examples/stencil3d
+	$(GO) build -o /tmp/charmgo-charmrun ./cmd/charmrun
+	$(GO) build -o /tmp/charmgo-tracecheck ./cmd/tracecheck
+	/tmp/charmgo-charmrun -np 2 -pes 2 -baseport 42160 -trace /tmp/charmgo-stencil.json /tmp/charmgo-stencil3d
+	/tmp/charmgo-tracecheck /tmp/charmgo-stencil.json

@@ -1,0 +1,26 @@
+package charmgo_test
+
+import (
+	"testing"
+
+	"charmgo/internal/transport"
+)
+
+// TestRemoteInvokeAllocGuard pins the remote-invoke hot path at the seed's
+// allocation baseline with tracing and metrics off. The baseline is 4
+// allocs/op, all predating the observability layer: the caller's variadic
+// args slice, the sender-side Message, and the receiver's decoded Message
+// and args. The nil-tracer / nil-metrics guards must add zero on top — a
+// regression here means instrumentation leaked into the hot path.
+func TestRemoteInvokeAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard, skipped in -short")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		nw := transport.NewMemNetwork(2)
+		benchRemoteRate(b, []transport.Transport{nw.Endpoint(0), nw.Endpoint(1)}, 0)
+	})
+	if a := res.AllocsPerOp(); a > 4 {
+		t.Errorf("remote invoke with observability off = %d allocs/op, want <= 4", a)
+	}
+}

@@ -38,11 +38,14 @@ package charmgo
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"strconv"
 	"strings"
 
 	"charmgo/internal/core"
+	"charmgo/internal/metrics"
+	"charmgo/internal/trace"
 	"charmgo/internal/transport"
 )
 
@@ -82,7 +85,52 @@ type (
 	// Channel is a direct-style ordered pairwise stream between two chares,
 	// usable from threaded entry methods (charm4py's Channel API).
 	Channel = core.Channel
+	// Tracer records Projections-style runtime events (set Config.Trace).
+	Tracer = trace.Tracer
+	// TraceReport is one node's gathered trace (Runtime.TraceReports).
+	TraceReport = trace.Report
+	// MetricsRegistry holds the runtime's live counters and gauges (set
+	// Config.Metrics; expose with ServeMetrics).
+	MetricsRegistry = metrics.Registry
 )
+
+// NewTracer creates a tracer for numPEs local PEs (default event cap).
+func NewTracer(numPEs int) *Tracer { return trace.New(numPEs) }
+
+// NewTracerWithCap creates a tracer whose per-PE ring buffers hold at most
+// cap events each.
+func NewTracerWithCap(numPEs, cap int) *Tracer { return trace.NewWithCap(numPEs, cap) }
+
+// NewMetricsRegistry creates an empty metrics registry for Config.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// ServeMetrics starts the debug HTTP endpoint (/metrics, /trace,
+// /debug/pprof) for a registry; tr may be nil. Close the returned server
+// when done.
+func ServeMetrics(addr string, reg *MetricsRegistry, tr *Tracer) (*metrics.Server, error) {
+	return metrics.Serve(addr, reg, traceSource(tr))
+}
+
+// traceSource converts a possibly-nil *Tracer into a possibly-nil interface
+// (a plain conversion would produce a non-nil interface holding nil).
+func traceSource(tr *Tracer) metrics.TraceSource {
+	if tr == nil {
+		return nil
+	}
+	return tr
+}
+
+// WriteChromeTrace renders node reports as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing).
+func WriteChromeTrace(w interface{ Write([]byte) (int, error) }, reports ...TraceReport) error {
+	return trace.WriteChrome(w, reports...)
+}
+
+// AggregateTrace merges node reports into a job-wide summary (utilization,
+// grain sizes, PE×PE communication matrix).
+func AggregateTrace(reports []TraceReport) trace.GlobalSummary {
+	return trace.Aggregate(reports)
+}
 
 // NewChannel creates this chare's endpoint of a channel to the peer element.
 func NewChannel(self *Chare, peer Proxy, port ...int) *Channel {
@@ -144,30 +192,137 @@ func Run(cfg Config, reg func(*Runtime), entry func(self *Chare)) {
 // list), the process connects to its peers over TCP using CHARMGO_NODE as
 // its node id and hosts CHARMGO_PES PEs; otherwise it behaves like Run.
 // Node 0 executes the entry point.
+//
+// Observability is also wired from the environment (set by charmrun's
+// -trace and -metrics-addr flags, or by hand):
+//
+//   - CHARMGO_TRACE=out.json enables full-lifecycle tracing; at exit node 0
+//     gathers every node's trace, writes a Chrome trace-event timeline to
+//     the named file, and prints a utilization summary to stderr.
+//   - CHARMGO_TRACE_CAP bounds the per-PE trace ring buffers (events each).
+//   - CHARMGO_METRICS_ADDR=host:port serves /metrics, /trace and
+//     /debug/pprof on port+nodeID for the lifetime of the job.
 func RunFromEnv(cfg Config, reg func(*Runtime), entry func(self *Chare)) error {
-	addrs := os.Getenv("CHARMGO_ADDRS")
-	if addrs == "" {
-		Run(cfg, reg, entry)
-		return nil
-	}
-	list := strings.Split(addrs, ",")
-	nodeID, err := strconv.Atoi(os.Getenv("CHARMGO_NODE"))
-	if err != nil || nodeID < 0 || nodeID >= len(list) {
-		return fmt.Errorf("charmgo: bad CHARMGO_NODE %q for %d nodes", os.Getenv("CHARMGO_NODE"), len(list))
-	}
-	if pes := os.Getenv("CHARMGO_PES"); pes != "" {
-		n, err := strconv.Atoi(pes)
-		if err != nil || n < 1 {
-			return fmt.Errorf("charmgo: bad CHARMGO_PES %q", pes)
+	var list []string
+	nodeID := 0
+	if addrs := os.Getenv("CHARMGO_ADDRS"); addrs != "" {
+		list = strings.Split(addrs, ",")
+		var err error
+		nodeID, err = strconv.Atoi(os.Getenv("CHARMGO_NODE"))
+		if err != nil || nodeID < 0 || nodeID >= len(list) {
+			return fmt.Errorf("charmgo: bad CHARMGO_NODE %q for %d nodes", os.Getenv("CHARMGO_NODE"), len(list))
 		}
-		cfg.PEs = n
+		if pes := os.Getenv("CHARMGO_PES"); pes != "" {
+			n, err := strconv.Atoi(pes)
+			if err != nil || n < 1 {
+				return fmt.Errorf("charmgo: bad CHARMGO_PES %q", pes)
+			}
+			cfg.PEs = n
+		}
 	}
-	tr, err := transport.NewTCP(nodeID, list)
+	if cfg.PEs < 1 {
+		cfg.PEs = 1 // match NewRuntime's default so the tracer is sized right
+	}
+	finish, err := setupObservability(&cfg, nodeID, len(list) > 1)
 	if err != nil {
 		return err
 	}
-	defer tr.Close()
-	cfg.Transport = tr
-	Run(cfg, reg, entry)
+	if list != nil {
+		t, err := transport.NewTCP(nodeID, list)
+		if err != nil {
+			return err
+		}
+		defer t.Close()
+		cfg.Transport = t
+	}
+	rt := core.NewRuntime(cfg)
+	if reg != nil {
+		reg(rt)
+	}
+	rt.Start(entry)
+	if finish != nil {
+		finish(rt)
+	}
 	return nil
+}
+
+// setupObservability reads CHARMGO_TRACE / CHARMGO_TRACE_CAP /
+// CHARMGO_METRICS_ADDR and mutates cfg accordingly. The returned function
+// (nil when no observability is requested) must run after the job exits:
+// it stops the metrics server and, on node 0, exports the timeline.
+func setupObservability(cfg *Config, nodeID int, multiNode bool) (func(*Runtime), error) {
+	tracePath := os.Getenv("CHARMGO_TRACE")
+	metricsAddr := os.Getenv("CHARMGO_METRICS_ADDR")
+	if tracePath == "" && metricsAddr == "" {
+		return nil, nil
+	}
+	var tr *trace.Tracer
+	if tracePath != "" {
+		evCap := trace.DefaultEventCap
+		if s := os.Getenv("CHARMGO_TRACE_CAP"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("charmgo: bad CHARMGO_TRACE_CAP %q", s)
+			}
+			evCap = n
+		}
+		tr = trace.NewWithCap(cfg.PEs, evCap)
+		cfg.Trace = tr
+		cfg.TraceGather = multiNode
+	}
+	var srv *metrics.Server
+	if metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		cfg.Metrics = reg
+		addr, err := offsetPort(metricsAddr, nodeID)
+		if err != nil {
+			return nil, fmt.Errorf("charmgo: bad CHARMGO_METRICS_ADDR %q: %v", metricsAddr, err)
+		}
+		srv, err = metrics.Serve(addr, reg, traceSource(tr))
+		if err != nil {
+			return nil, fmt.Errorf("charmgo: metrics endpoint: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "charmgo: node %d metrics at http://%s/metrics\n", nodeID, srv.Addr())
+	}
+	return func(rt *Runtime) {
+		if srv != nil {
+			srv.Close()
+		}
+		if tr == nil || nodeID != 0 {
+			return
+		}
+		reps := rt.TraceReports()
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "charmgo: trace export: %v\n", err)
+			return
+		}
+		werr := trace.WriteChrome(f, reps...)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "charmgo: trace export: %v\n", werr)
+			return
+		}
+		trace.Aggregate(reps).Fprint(os.Stderr)
+		fmt.Fprintf(os.Stderr, "charmgo: timeline written to %s (open in Perfetto or chrome://tracing)\n", tracePath)
+	}, nil
+}
+
+// offsetPort shifts a host:port address by nodeID so each node of a job
+// serves metrics on its own port. Port 0 (ephemeral) is left alone.
+func offsetPort(addr string, nodeID int) (string, error) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", err
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", err
+	}
+	if port != 0 {
+		port += nodeID
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port)), nil
 }

@@ -24,6 +24,9 @@ func main() {
 	np := flag.Int("np", 2, "number of processes (nodes)")
 	pes := flag.Int("pes", 1, "PEs per process")
 	basePort := flag.Int("baseport", 42100, "first TCP port")
+	traceOut := flag.String("trace", "", "enable tracing; node 0 writes a Chrome trace-event timeline to this file at exit")
+	traceCap := flag.Int("trace-cap", 0, "per-PE trace ring-buffer capacity in events (0 = default)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /trace and /debug/pprof per node at host:(port+node), e.g. 127.0.0.1:9100")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: charmrun [-np N] [-pes K] <binary> [args...]")
@@ -50,6 +53,15 @@ func main() {
 				fmt.Sprintf("CHARMGO_NODE=%d", node),
 				fmt.Sprintf("CHARMGO_PES=%d", *pes),
 			)
+			if *traceOut != "" {
+				cmd.Env = append(cmd.Env, fmt.Sprintf("CHARMGO_TRACE=%s", *traceOut))
+			}
+			if *traceCap > 0 {
+				cmd.Env = append(cmd.Env, fmt.Sprintf("CHARMGO_TRACE_CAP=%d", *traceCap))
+			}
+			if *metricsAddr != "" {
+				cmd.Env = append(cmd.Env, fmt.Sprintf("CHARMGO_METRICS_ADDR=%s", *metricsAddr))
+			}
 			cmd.Stdout = os.Stdout
 			cmd.Stderr = os.Stderr
 			if err := cmd.Run(); err != nil {

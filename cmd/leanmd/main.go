@@ -13,6 +13,7 @@ import (
 
 	"charmgo/internal/core"
 	"charmgo/internal/leanmd"
+	"charmgo/internal/trace"
 )
 
 func main() {
@@ -24,6 +25,8 @@ func main() {
 	migrate := flag.Int("migrate", 4, "atom exchange period in steps (0 = off)")
 	dispatch := flag.String("dispatch", "static", "dispatch mode: static (Charm++ model) or dynamic (CharmPy model)")
 	verify := flag.Bool("verify", true, "compare against the sequential reference")
+	traceRun := flag.Bool("trace", false, "print a Projections-style trace summary")
+	traceOut := flag.String("traceout", "", "write a Chrome trace-event timeline to this file (implies -trace)")
 	flag.Parse()
 
 	p := leanmd.DefaultParams()
@@ -34,6 +37,11 @@ func main() {
 	p.MigrateEvery = *migrate
 
 	cfg := core.Config{PEs: *pes}
+	var tracer *trace.Tracer
+	if *traceRun || *traceOut != "" {
+		tracer = trace.New(*pes)
+		cfg.Trace = tracer
+	}
 	switch *dispatch {
 	case "static":
 	case "dynamic":
@@ -53,6 +61,27 @@ func main() {
 	fmt.Printf("time per step: %.3f ms (wall %.3f s)\n", res.TimePerStepMS, res.WallSeconds)
 	fmt.Printf("kinetic energy: %.6f   momentum: (%.2e, %.2e, %.2e)\n",
 		res.Summary.KE, res.Summary.Px, res.Summary.Py, res.Summary.Pz)
+
+	if tracer != nil {
+		fmt.Println("\ntrace summary:")
+		tracer.Summarize().Fprint(os.Stdout)
+	}
+	if *traceOut != "" && tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		werr := trace.WriteChrome(f, tracer.Report(0))
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline written to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
+	}
 
 	if *verify {
 		ref, err := leanmd.RunSequential(p)

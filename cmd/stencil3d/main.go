@@ -32,6 +32,7 @@ func main() {
 	serialize := flag.Bool("serialize", false, "serialize all cross-PE messages (process model)")
 	verify := flag.Bool("verify", true, "check the checksum against the sequential reference")
 	traceRun := flag.Bool("trace", false, "print a Projections-style trace summary (charm only)")
+	traceOut := flag.String("traceout", "", "write a Chrome trace-event timeline to this file (implies -trace)")
 	flag.Parse()
 
 	bx, by, bz, err := parseTriple(*blocks)
@@ -65,7 +66,7 @@ func main() {
 	}
 
 	var tracer *trace.Tracer
-	if *traceRun {
+	if *traceRun || *traceOut != "" {
 		tracer = trace.New(*pes)
 	}
 	var res stencil.Result
@@ -94,6 +95,22 @@ func main() {
 	if tracer != nil {
 		fmt.Println("\ntrace summary:")
 		tracer.Summarize().Fprint(os.Stdout)
+	}
+	if *traceOut != "" && tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		werr := trace.WriteChrome(f, tracer.Report(0))
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("timeline written to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 	if *verify {
 		want, err := stencil.RunSequential(p)

@@ -1,0 +1,110 @@
+// Tracecheck validates that a file is well-formed Chrome trace-event JSON
+// as produced by the charmgo tracer (trace.WriteChrome): the JSON-object
+// format with a traceEvents array, microsecond timestamps, and at least one
+// complete ("X") entry-method event per processing element track. Used by
+// `make profile` to gate the exported timeline, and handy after any traced
+// run:
+//
+//	go run ./cmd/tracecheck /tmp/stencil.json
+//
+// Exit status is 0 for a valid timeline, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// event mirrors the Chrome trace-event fields tracecheck cares about.
+// https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+type event struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Pid  *int            `json:"pid"`
+	Tid  *int            `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fail("%s: not valid JSON: %v", path, err)
+	}
+	if tf.TraceEvents == nil {
+		fail("%s: missing traceEvents array (not object-format Chrome trace JSON)", path)
+	}
+	var complete, instant, meta int
+	threadNames := map[[2]int]string{} // (pid, tid) -> thread_name
+	emTracks := map[[2]int]int{}       // (pid, tid) -> "X" event count
+	for i, e := range tf.TraceEvents {
+		if e.Ph == "" {
+			fail("%s: event %d has no ph (phase) field", path, i)
+		}
+		if e.Pid == nil || e.Tid == nil {
+			fail("%s: event %d (%q, ph=%s) lacks pid/tid", path, i, e.Name, e.Ph)
+		}
+		key := [2]int{*e.Pid, *e.Tid}
+		switch e.Ph {
+		case "X":
+			if e.Ts == nil || e.Dur == nil {
+				fail("%s: complete event %d (%q) lacks ts/dur", path, i, e.Name)
+			}
+			if *e.Dur < 0 {
+				fail("%s: complete event %d (%q) has negative dur %v", path, i, e.Name, *e.Dur)
+			}
+			complete++
+			emTracks[key]++
+		case "i", "I":
+			if e.Ts == nil {
+				fail("%s: instant event %d (%q) lacks ts", path, i, e.Name)
+			}
+			instant++
+		case "M":
+			meta++
+			if e.Name == "thread_name" {
+				var args struct {
+					Name string `json:"name"`
+				}
+				if err := json.Unmarshal(e.Args, &args); err != nil || args.Name == "" {
+					fail("%s: thread_name metadata %d lacks args.name", path, i)
+				}
+				threadNames[key] = args.Name
+			}
+		}
+	}
+	if complete == 0 {
+		fail("%s: no complete (ph=X) events — no entry-method spans recorded", path)
+	}
+	if len(threadNames) == 0 {
+		fail("%s: no thread_name metadata — PE tracks would be unlabeled", path)
+	}
+	// Every track carrying X events must be a named PE track.
+	for key := range emTracks {
+		if _, ok := threadNames[key]; !ok {
+			fail("%s: track pid=%d tid=%d has events but no thread_name", path, key[0], key[1])
+		}
+	}
+	fmt.Printf("%s: OK — %d complete, %d instant, %d metadata events on %d named tracks\n",
+		path, complete, instant, meta, len(threadNames))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

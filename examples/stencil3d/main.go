@@ -4,11 +4,19 @@
 // and verifies them against the sequential reference. Run with:
 //
 //	go run ./examples/stencil3d
+//
+// The binary is also charmrun-ready: launched by cmd/charmrun it runs the
+// charm implementation once across all nodes, which makes it the standard
+// subject for tracing and profiling:
+//
+//	go build -o /tmp/stencil3d ./examples/stencil3d
+//	go run ./cmd/charmrun -np 2 -pes 2 -trace /tmp/stencil.json /tmp/stencil3d
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"charmgo"
 	"charmgo/internal/stencil"
@@ -19,6 +27,10 @@ func main() {
 		GridX: 48, GridY: 48, GridZ: 48,
 		BX: 2, BY: 2, BZ: 2,
 		Iters: 50,
+	}
+	if os.Getenv("CHARMGO_ADDRS") != "" {
+		runMultiNode(p)
+		return
 	}
 	want, err := stencil.RunSequential(p)
 	if err != nil {
@@ -52,4 +64,30 @@ func main() {
 	}
 	fmt.Printf("dynamic/static time ratio: %.2fx (models the paper's CharmPy/Charm++ gap)\n",
 		dynamic.TimePerStepMS/static.TimePerStepMS)
+}
+
+// runMultiNode is the charmrun path: one distributed charm run, verified on
+// node 0 against the sequential reference.
+func runMultiNode(p stencil.Params) {
+	var res stencil.Result
+	err := charmgo.RunFromEnv(charmgo.Config{},
+		func(rt *charmgo.Runtime) { stencil.Register(rt) },
+		stencil.Entry(p, &res))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if os.Getenv("CHARMGO_NODE") != "0" {
+		return // only node 0 ran the entry point and has a result
+	}
+	fmt.Printf("stencil3d: %d blocks on %d PEs, %d iterations: %.2f ms/step\n",
+		res.Blocks, res.PEs, p.Iters, res.TimePerStepMS)
+	want, err := stencil.RunSequential(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if diff := res.Checksum - want; diff > 1e-6 || diff < -1e-6 {
+		fmt.Printf("CHECKSUM MISMATCH: got %.6f want %.6f\n", res.Checksum, want)
+		os.Exit(1)
+	}
+	fmt.Printf("checksum OK (%.6f)\n", res.Checksum)
 }

@@ -41,7 +41,8 @@ type aggregator struct {
 type aggNode struct {
 	mu  sync.Mutex
 	buf []byte   // nil when empty; pooled frame starting with the batch header
-	_   [32]byte // pad to a cache line so per-node locks don't false-share
+	n   int      // messages coalesced into buf (trace/metrics only)
+	_   [24]byte // pad to a cache line so per-node locks don't false-share
 }
 
 func newAggregator(rt *Runtime, threshold int, interval time.Duration) *aggregator {
@@ -76,6 +77,11 @@ func (a *aggregator) send(node int, dest PE, m *Message) {
 	an.buf = append(an.buf, 0, 0, 0, 0)
 	an.buf = appendMsg(an.buf, dest, m, a.rt.wt)
 	binary.LittleEndian.PutUint32(an.buf[off:], uint32(len(an.buf)-off-4))
+	an.n++
+	if tr := a.rt.cfg.Trace; tr != nil {
+		// per-message wire size = the sub-frame just appended (length delta)
+		tr.Comm(int(m.Src), int(dest), len(an.buf)-off-4)
+	}
 	if len(an.buf) >= a.threshold {
 		a.xmitLocked(node, an)
 	}
@@ -108,7 +114,18 @@ func (a *aggregator) flushAll() {
 // flushes.
 func (a *aggregator) xmitLocked(node int, an *aggNode) {
 	buf := an.buf
+	msgs := an.n
 	an.buf = nil
+	an.n = 0
+	size := len(buf) - transport.PrefixLen
+	if tr := a.rt.cfg.Trace; tr != nil {
+		tr.Flush(node, tr.Since(), size, msgs)
+	}
+	if met := a.rt.met; met != nil {
+		met.batchFlushes.Inc()
+		met.batchBytes.Observe(int64(size))
+		met.batchMsgs.Observe(int64(msgs))
+	}
 	a.rt.xmit(node, buf)
 }
 

@@ -54,6 +54,9 @@ func (p *peState) futureSet(ref FutureRef, v any) {
 	if fs.got < fs.need {
 		return
 	}
+	if tr := p.rt.cfg.Trace; tr != nil {
+		tr.FutureSet(p.lpe(), tr.Since())
+	}
 	fs.ready = true
 	ws := fs.waiters
 	fs.waiters = nil

@@ -78,6 +78,9 @@ func (p *peState) lbRootStats(m *Message) {
 			}
 		}
 	}
+	if tr := p.rt.cfg.Trace; tr != nil {
+		tr.LB(p.lpe(), tr.Since(), len(moves))
+	}
 	if len(moves) == 0 {
 		p.rt.bcastAllPEs(&Message{Kind: mLBResume, CID: m.CID, Src: p.pe, Ctl: &lbResumeMsg{CID: m.CID}})
 		return

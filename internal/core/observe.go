@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"charmgo/internal/metrics"
+	"charmgo/internal/trace"
+	"charmgo/internal/transport"
+)
+
+// This file is the runtime half of the observability subsystem (see
+// DESIGN.md): the metrics instruments the hot paths update, and the
+// end-of-job trace-gather protocol that ships every node's trace.Report to
+// node 0 so it can print a job-wide summary and export one merged timeline.
+
+// rtMetrics bundles the runtime's registered instruments so hot paths pay
+// one nil check on rt.met and then plain atomic updates — no registry
+// lookups per message.
+type rtMetrics struct {
+	reg *metrics.Registry
+
+	sendsLocal   *metrics.Counter
+	sendsWire    *metrics.Counter
+	wireBytesOut *metrics.Counter
+	wireBytesIn  *metrics.Counter
+	framesOut    *metrics.Counter
+	framesIn     *metrics.Counter
+
+	batchFlushes *metrics.Counter
+	batchBytes   *metrics.Histogram
+	batchMsgs    *metrics.Histogram
+
+	decodeHot *metrics.Counter // custom-codec frames (mInvoke/mFutureSet)
+	decodeGob *metrics.Counter // gob-fallback control frames
+
+	dispatchStatic  *metrics.Counter
+	dispatchDynamic *metrics.Counter
+
+	peRecvs []*metrics.Counter // per local PE: messages dequeued
+	peEMs   []*metrics.Counter // per local PE: entry methods executed
+}
+
+// newRTMetrics registers the runtime's instruments in reg. Must run after
+// rt.pes is populated (mailbox-depth gauges close over the peStates).
+func newRTMetrics(rt *Runtime, reg *metrics.Registry) *rtMetrics {
+	m := &rtMetrics{
+		reg:          reg,
+		sendsLocal:   reg.Counter("charmgo_sends_local_total", "messages delivered within the node"),
+		sendsWire:    reg.Counter("charmgo_sends_wire_total", "messages sent to other nodes"),
+		wireBytesOut: reg.Counter("charmgo_wire_bytes_out_total", "payload bytes sent to other nodes"),
+		wireBytesIn:  reg.Counter("charmgo_wire_bytes_in_total", "payload bytes received from other nodes"),
+		framesOut:    reg.Counter("charmgo_frames_out_total", "transport frames sent"),
+		framesIn:     reg.Counter("charmgo_frames_in_total", "transport frames received"),
+		batchFlushes: reg.Counter("charmgo_batch_flushes_total", "aggregator batches transmitted"),
+		batchBytes:   reg.Histogram("charmgo_batch_bytes", "aggregator batch sizes in bytes"),
+		batchMsgs:    reg.Histogram("charmgo_batch_msgs", "messages coalesced per aggregator batch"),
+		decodeHot:    reg.Counter("charmgo_decode_hot_total", "inbound frames decoded by the custom codec"),
+		decodeGob:    reg.Counter("charmgo_decode_gob_total", "inbound frames decoded by the gob fallback"),
+		dispatchStatic: reg.Counter("charmgo_dispatch_static_total",
+			"entry methods dispatched via method table / FastDispatcher"),
+		dispatchDynamic: reg.Counter("charmgo_dispatch_dynamic_total",
+			"entry methods dispatched via reflective name lookup"),
+	}
+	m.peRecvs = make([]*metrics.Counter, len(rt.pes))
+	m.peEMs = make([]*metrics.Counter, len(rt.pes))
+	for i, p := range rt.pes {
+		gpe := int(rt.basePE) + i
+		m.peRecvs[i] = reg.Counter(fmt.Sprintf("charmgo_pe_recvs_total{pe=%q}", fmt.Sprint(gpe)),
+			"messages dequeued by the PE scheduler")
+		m.peEMs[i] = reg.Counter(fmt.Sprintf("charmgo_pe_ems_total{pe=%q}", fmt.Sprint(gpe)),
+			"entry methods executed on the PE")
+		mbox := p.mbox
+		reg.GaugeFunc(fmt.Sprintf("charmgo_mailbox_depth{pe=%q}", fmt.Sprint(gpe)),
+			"messages currently queued in the PE mailbox",
+			func() int64 { return int64(mbox.len()) })
+	}
+	return m
+}
+
+// ---- end-of-job trace gather (node reports to node 0) ----
+
+// traceReportMsg carries one node's trace report to node 0 at job exit.
+type traceReportMsg struct {
+	Report trace.Report
+}
+
+// traceGatherTimeout bounds node 0's wait for remote reports, so a crashed
+// peer cannot wedge the exit path.
+const traceGatherTimeout = 3 * time.Second
+
+// gatherTraces runs after the node's PEs have drained. Non-zero nodes ship
+// their report to node 0; node 0 collects reports from every peer (plus its
+// own) into rt.gathered for TraceReports.
+func (rt *Runtime) gatherTraces() {
+	tr := rt.cfg.Trace
+	if tr == nil || !rt.cfg.TraceGather || rt.numNodes <= 1 || rt.cfg.Transport == nil {
+		return
+	}
+	if rt.nodeID != 0 {
+		m := &Message{Kind: mTraceReport, Src: -1, Ctl: &traceReportMsg{Report: tr.Report(rt.nodeID)}}
+		rt.xmit(0, appendMsg(transport.GetBuf(), -1, m, rt.wt))
+		return
+	}
+	rt.gathered = append(rt.gathered, tr.Report(0))
+	deadline := time.After(traceGatherTimeout)
+	for len(rt.gathered) < rt.numNodes {
+		select {
+		case rep := <-rt.traceRepCh:
+			rt.gathered = append(rt.gathered, rep)
+		case <-deadline:
+			fmt.Fprintf(os.Stderr, "charmgo: trace gather: received %d of %d node reports before timeout\n",
+				len(rt.gathered), rt.numNodes)
+			return
+		}
+	}
+}
+
+// TraceReports returns the job's trace reports: on node 0 of a gathered run,
+// one report per node; otherwise this node's own report. Valid after Start
+// returns; nil when tracing was off.
+func (rt *Runtime) TraceReports() []trace.Report {
+	if len(rt.gathered) > 0 {
+		return rt.gathered
+	}
+	if tr := rt.cfg.Trace; tr != nil {
+		return []trace.Report{tr.Report(rt.nodeID)}
+	}
+	return nil
+}

@@ -93,6 +93,9 @@ type thYield struct {
 	panicVal any
 }
 
+// lpe returns the node-local index of this PE (trace/metrics attribution).
+func (p *peState) lpe() int { return int(p.pe - p.rt.basePE) }
+
 func newPEState(rt *Runtime, pe PE) *peState {
 	return &peState{
 		rt:          rt,
@@ -112,6 +115,8 @@ func newPEState(rt *Runtime, pe PE) *peState {
 // loop is the PE scheduler: Charm++-style message-driven execution, one
 // entry method at a time.
 func (p *peState) loop() {
+	tr := p.rt.cfg.Trace
+	lpe := p.lpe()
 	for !p.exiting {
 		m, ok := p.mbox.tryPop()
 		if !ok {
@@ -121,10 +126,23 @@ func (p *peState) loop() {
 			if p.rt.agg != nil {
 				p.rt.agg.flushAll()
 			}
-			m, ok = p.mbox.pop()
+			if tr != nil {
+				idleAt := tr.Since()
+				m, ok = p.mbox.pop()
+				tr.Idle(lpe, idleAt, tr.Since()-idleAt)
+			} else {
+				m, ok = p.mbox.pop()
+			}
 		}
 		if !ok {
 			break
+		}
+		if tr != nil && m.enq != 0 {
+			now := tr.Since()
+			tr.Recv(lpe, m.Method, now, now-m.enq)
+		}
+		if met := p.rt.met; met != nil {
+			met.peRecvs[lpe].Inc()
 		}
 		p.rt.qdCountRecv(m.Kind)
 		p.handle(m)
@@ -547,7 +565,10 @@ func (p *peState) invokeEMInner(el *element, info *emInfo, m *Message) {
 	el.load += dur
 	atomic.AddInt64(&p.rt.qd.running, -1)
 	if tr := p.rt.cfg.Trace; tr != nil {
-		tr.EM(int(p.pe-p.rt.basePE), el.coll.ct.name, info.name, tr.Since()-dur, dur)
+		tr.EM(p.lpe(), el.coll.ct.name, info.name, tr.Since()-dur, dur)
+	}
+	if met := p.rt.met; met != nil {
+		met.peEMs[p.lpe()].Inc()
 	}
 	if m.Fut.valid() {
 		p.rt.sendFutureSet(m.Fut, ret)
@@ -560,6 +581,9 @@ func (p *peState) invokeEMInner(el *element, info *emInfo, m *Message) {
 // coercion, modelling interpreted dispatch (DESIGN.md).
 func (p *peState) callEM(el *element, info *emInfo, args []any) any {
 	if p.rt.cfg.Dispatch == StaticDispatch {
+		if met := p.rt.met; met != nil {
+			met.dispatchStatic.Inc()
+		}
 		if el.fast != nil {
 			el.fast.DispatchEM(int(info.id), args)
 			return nil
@@ -580,6 +604,9 @@ func (p *peState) callEM(el *element, info *emInfo, args []any) any {
 		return nil
 	}
 	// Dynamic dispatch: name lookup per invocation.
+	if met := p.rt.met; met != nil {
+		met.dispatchDynamic.Inc()
+	}
 	mv := el.obj.MethodByName(info.name)
 	if !mv.IsValid() {
 		panic(fmt.Sprintf("core: %s has no method %s", el.coll.ct.name, info.name))
@@ -664,9 +691,12 @@ func (p *peState) waitYield() {
 	atomic.AddInt64(&p.rt.qd.running, -1)
 	if tr := p.rt.cfg.Trace; tr != nil {
 		// threaded entry methods are traced as run segments
-		tr.EM(int(p.pe-p.rt.basePE), el.coll.ct.name, "(threaded)", tr.Since()-seg, seg)
+		tr.EM(p.lpe(), el.coll.ct.name, "(threaded)", tr.Since()-seg, seg)
 	}
 	if y.done {
+		if met := p.rt.met; met != nil {
+			met.peEMs[p.lpe()].Inc()
+		}
 		el.liveThreads--
 		if y.panicVal != nil {
 			panic(y.panicVal)
@@ -783,6 +813,9 @@ func (p *peState) migrateOut(el *element) {
 		p.tomb[el.cid] = tm
 	}
 	tm[el.key] = to
+	if tr := p.rt.cfg.Trace; tr != nil {
+		tr.MigrateOut(p.lpe(), int(to), el.coll.ct.name, tr.Since())
+	}
 	p.rt.send(to, &Message{Kind: mMigrate, CID: el.cid, Src: p.pe, Ctl: mm})
 	// Forward buffered messages to the new location.
 	for _, m := range el.buf {
@@ -840,6 +873,9 @@ func (p *peState) migrateIn(mm *migrateMsg) {
 		p.setHomeLoc(mm.CID, el.key, p.pe)
 	}
 	p.rt.cacheLoc(mm.CID, el.key, p.pe)
+	if tr := p.rt.cfg.Trace; tr != nil {
+		tr.MigrateIn(p.lpe(), coll.ct.name, tr.Since())
+	}
 	if hook, ok := v.(Migrated); ok {
 		hook.Migrated()
 	}

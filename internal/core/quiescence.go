@@ -158,6 +158,9 @@ func (p *peState) qdOnReply(rm *qdReplyMsg) {
 		p.qdProbe()
 		return
 	}
+	if tr := p.rt.cfg.Trace; tr != nil {
+		tr.QD(p.lpe(), tr.Since())
+	}
 	qd.probing = false
 	qd.havePrev = false
 	waiters := qd.waiters

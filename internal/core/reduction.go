@@ -186,6 +186,9 @@ func (p *peState) redCheckComplete(coll *localColl, seq int64, slot *rootRedSlot
 			seq, collCID(coll), slot.count, coll.total))
 	}
 	delete(coll.rootRed, seq)
+	if tr := p.rt.cfg.Trace; tr != nil {
+		tr.Reduction(p.lpe(), tr.Since(), slot.count)
+	}
 	var result any
 	switch {
 	case slot.reducer == "":

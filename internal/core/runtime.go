@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"charmgo/internal/metrics"
 	"charmgo/internal/ser"
 	"charmgo/internal/trace"
 	"charmgo/internal/transport"
@@ -56,9 +57,20 @@ type Config struct {
 	// LB is the load-balancing strategy run at AtSync points. Nil means
 	// AtSync acts as a barrier with no migrations.
 	LB LBStrategy
-	// Trace, when non-nil, records entry-method executions and message
-	// sends (Projections-style performance tracing; internal/trace).
+	// Trace, when non-nil, records the runtime's full activity lifecycle —
+	// entry methods, sends/receives (queue-wait), idle spans, reductions,
+	// futures, quiescence, migrations, LB decisions, aggregator flushes and
+	// transport frames (Projections-style performance tracing;
+	// internal/trace). Nil costs one predicted branch per event site.
 	Trace *trace.Tracer
+	// TraceGather makes node 0 collect every node's trace report after the
+	// job exits (over the regular frame path), so Runtime.TraceReports on
+	// node 0 returns the whole job. Requires Trace on every node.
+	TraceGather bool
+	// Metrics, when non-nil, receives the runtime's counters/gauges
+	// (sends, wire bytes, batch sizes, per-PE mailbox depth, ...); expose
+	// it with metrics.Serve. Nil costs one predicted branch per update.
+	Metrics *metrics.Registry
 	// BatchBytes is the TRAM-style aggregation threshold for cross-node
 	// sends: small frames destined for the same node are coalesced into one
 	// batch frame, transmitted when it reaches this size, when a PE runs out
@@ -109,6 +121,10 @@ type Runtime struct {
 
 	wt  *wireTables // method-name interning, built at Start
 	agg *aggregator // cross-node send aggregation; nil when disabled
+
+	met        *rtMetrics         // nil unless Config.Metrics is set
+	traceRepCh chan trace.Report  // node 0 gather channel (TraceGather)
+	gathered   []trace.Report     // node 0: all node reports after Start
 
 	// test/diagnostic counters (atomics; the send path is hot)
 	nMsgsLocal atomic.Int64
@@ -177,6 +193,15 @@ func (rt *Runtime) Start(entry func(self *Chare)) {
 	for i := 0; i < rt.cfg.PEs; i++ {
 		rt.pes[i] = newPEState(rt, rt.basePE+PE(i))
 	}
+	if tr := rt.cfg.Trace; tr != nil {
+		tr.SetTopology(rt.totalPEs, int(rt.basePE))
+		if rt.cfg.TraceGather && rt.numNodes > 1 && rt.nodeID == 0 {
+			rt.traceRepCh = make(chan trace.Report, rt.numNodes)
+		}
+	}
+	if rt.cfg.Metrics != nil {
+		rt.met = newRTMetrics(rt, rt.cfg.Metrics)
+	}
 	if tr := rt.cfg.Transport; tr != nil {
 		if rt.numNodes > 1 && rt.cfg.BatchBytes >= 0 {
 			rt.agg = newAggregator(rt, rt.cfg.BatchBytes, rt.cfg.FlushInterval)
@@ -197,6 +222,7 @@ func (rt *Runtime) Start(entry func(self *Chare)) {
 	if rt.agg != nil {
 		rt.agg.shutdown()
 	}
+	rt.gatherTraces()
 	close(rt.done)
 }
 
@@ -256,7 +282,7 @@ func (rt *Runtime) send(pe PE, m *Message) {
 		if rt.isLocal(m.Src) {
 			src = int(m.Src - rt.basePE)
 		}
-		tr.Send(src, m.Method, tr.Since(), 0)
+		tr.SendTo(src, int(pe), m.Method, tr.Since(), 0)
 	}
 	if rt.isLocal(pe) {
 		if rt.cfg.ForceSerialize && serializableKind(m.Kind) {
@@ -270,22 +296,42 @@ func (rt *Runtime) send(pe PE, m *Message) {
 			m = m2
 		}
 		rt.nMsgsLocal.Add(1)
+		if met := rt.met; met != nil {
+			met.sendsLocal.Inc()
+		}
+		if tr := rt.cfg.Trace; tr != nil {
+			m.enq = tr.Since()
+		}
 		rt.localPE(pe).mbox.push(m)
 		return
 	}
 	rt.nMsgsWire.Add(1)
+	if met := rt.met; met != nil {
+		met.sendsWire.Inc()
+	}
 	node := rt.nodeOf(pe)
 	if rt.agg != nil {
 		rt.agg.send(node, pe, m)
 		return
 	}
-	rt.xmit(node, appendMsg(transport.GetBuf(), pe, m, rt.wt))
+	frame := appendMsg(transport.GetBuf(), pe, m, rt.wt)
+	if tr := rt.cfg.Trace; tr != nil {
+		tr.Comm(int(m.Src), int(pe), len(frame)-transport.PrefixLen)
+	}
+	rt.xmit(node, frame)
 }
 
 // xmit hands a pooled frame buffer (from transport.GetBuf, payload after
 // the reserved prefix) to the transport, using the zero-copy SendBuf path
 // when available. It takes ownership of buf.
 func (rt *Runtime) xmit(node int, buf []byte) {
+	if met := rt.met; met != nil {
+		met.framesOut.Inc()
+		met.wireBytesOut.Add(int64(len(buf) - transport.PrefixLen))
+	}
+	if tr := rt.cfg.Trace; tr != nil {
+		tr.Frame(true, node, tr.Since(), len(buf)-transport.PrefixLen)
+	}
 	var err error
 	if bs, ok := rt.cfg.Transport.(transport.BufSender); ok {
 		err = bs.SendBuf(node, buf)
@@ -316,9 +362,20 @@ func (rt *Runtime) bcastAllPEs(m *Message) {
 }
 
 func (rt *Runtime) deliverAllLocal(m *Message) {
+	tr := rt.cfg.Trace
+	src := -1
+	if tr != nil && rt.isLocal(m.Src) {
+		src = int(m.Src - rt.basePE)
+	}
 	for _, p := range rt.pes {
 		rt.qdCountSend(m.Kind) // per-copy; matched when the PE dequeues it
 		cp := *m
+		if tr != nil {
+			cp.enq = tr.Since()
+			if m.Kind == mInvoke {
+				tr.Send(src, m.Method, cp.enq, 0)
+			}
+		}
 		p.mbox.push(&cp)
 	}
 }
@@ -327,11 +384,21 @@ func (rt *Runtime) deliverAllLocal(m *Message) {
 // through the zero-copy SendBuf path, in which case they are only valid for
 // the duration of this call — decodeMsgWT copies everything it returns.
 func (rt *Runtime) onFrame(from int, frame []byte) {
+	if met := rt.met; met != nil {
+		met.framesIn.Inc()
+		met.wireBytesIn.Add(int64(len(frame)))
+	}
+	if tr := rt.cfg.Trace; tr != nil {
+		tr.Frame(false, from, tr.Since(), len(frame))
+	}
 	if len(frame) >= 4 && int32(binary.LittleEndian.Uint32(frame)) == batchDest {
 		rt.onBatch(from, frame[4:])
 		return
 	}
 	if m, dest, local := rt.ingress(from, frame); local {
+		if tr := rt.cfg.Trace; tr != nil {
+			m.enq = tr.Since()
+		}
 		rt.localPE(dest).mbox.push(m)
 	}
 }
@@ -369,6 +436,9 @@ func (rt *Runtime) onBatch(from int, body []byte) {
 		}
 		m, dest, local := rt.ingress(from, sub)
 		if local {
+			if tr := rt.cfg.Trace; tr != nil {
+				m.enq = tr.Since()
+			}
 			i := int(dest - rt.basePE)
 			perPE[i] = append(perPE[i], m)
 		} else if m != nil && m.Kind == mExit {
@@ -386,10 +456,28 @@ func (rt *Runtime) ingress(from int, frame []byte) (*Message, PE, bool) {
 	if err != nil {
 		panic(fmt.Sprintf("core: bad frame from node %d: %v", from, err))
 	}
+	if met := rt.met; met != nil {
+		if m.Kind == mInvoke || m.Kind == mFutureSet {
+			met.decodeHot.Inc()
+		} else {
+			met.decodeGob.Inc()
+		}
+	}
 	rt.rebindMsg(m)
 	if m.Kind == mExit {
 		rt.localExit()
 		return m, 0, false
+	}
+	if m.Kind == mTraceReport {
+		if ch := rt.traceRepCh; ch != nil {
+			if tm, ok := m.Ctl.(*traceReportMsg); ok {
+				select {
+				case ch <- tm.Report:
+				default: // duplicate or over-capacity report: drop
+				}
+			}
+		}
+		return nil, 0, false
 	}
 	if dest < 0 {
 		rt.qdCountRecv(m.Kind) // the broadcast frame; copies counted per-PE

@@ -24,6 +24,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 )
 
 // PE identifies a processing element (a scheduler; the unit the paper calls
@@ -71,6 +72,7 @@ const (
 	mCkptCollect
 	mPing
 	mChanMsg
+	mTraceReport // node trace report gathered to node 0 at exit
 )
 
 // idxKey converts an element index to a compact map key. The scratch buffer
@@ -179,6 +181,11 @@ type Message struct {
 	Args   []any
 	Ctl    any  // control payload for non-invoke kinds
 	hops   int8 // forwarding hop count (location management loop guard)
+
+	// enq is the tracer-relative enqueue time, stamped at mailbox push only
+	// when tracing is enabled; the dequeue side turns it into queue-wait
+	// latency (EvRecv). Unexported: node-local, never serialized.
+	enq time.Duration
 }
 
 func (m *Message) String() string {

@@ -18,7 +18,7 @@ func init() {
 		&redPartialMsg{}, &migrateMsg{}, &locUpdateMsg{},
 		&lbStatsMsg{}, &lbMovesMsg{}, &lbResumeMsg{},
 		&qdStartMsg{}, &qdProbeMsg{}, &qdReplyMsg{}, &ckptCollectMsg{},
-		ckptBundle{}, &chanMsg{},
+		ckptBundle{}, &chanMsg{}, &traceReportMsg{},
 	} {
 		ser.RegisterType(v)
 	}

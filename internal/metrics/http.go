@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// TraceSource is anything that can dump a trace snapshot as JSON —
+// satisfied by *trace.Tracer (kept as an interface so metrics doesn't
+// import trace).
+type TraceSource interface {
+	WriteJSON(w io.Writer) error
+}
+
+// Server is a running debug endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful when Serve was given ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}
+
+// Serve starts the debug HTTP endpoint on addr, exposing:
+//
+//	/metrics      registry text exposition
+//	/trace        trace snapshot as JSON (404 if no tracer attached)
+//	/debug/pprof  the stdlib profiler suite
+//
+// A dedicated mux keeps this off http.DefaultServeMux. Returns once the
+// listener is bound; serving continues in the background until Close.
+func Serve(addr string, reg *Registry, tr TraceSource) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		if tr == nil {
+			http.Error(w, "tracing not enabled on this node", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := tr.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return &Server{ln: ln, srv: srv}, nil
+}

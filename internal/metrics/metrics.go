@@ -1,0 +1,220 @@
+// Package metrics is a lock-free counters/gauges registry for the charmgo
+// runtime. Instruments are plain atomics — updating one is a single
+// atomic add with no map lookups or locks, cheap enough for the message
+// hot path (the runtime additionally guards every update behind a single
+// nil check so a disabled registry costs one predicted branch).
+//
+// The registry itself takes a mutex only at registration time; reads for
+// exposition (WriteText) are lock-free snapshots. Exposition is a
+// Prometheus-style text format served by the debug endpoint in http.go.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (must be >= 0 for meaningful rates; not enforced).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// HistBuckets is the number of power-of-two buckets in a Histogram:
+// bucket i counts observations v with 2^(i-1) <= v < 2^i (bucket 0 is
+// v <= 0 or v == 1's lower neighbours, see bucketOf). 40 buckets cover
+// values up to ~5e11, plenty for byte sizes and microsecond latencies.
+const HistBuckets = 40
+
+// Histogram counts observations in power-of-two buckets. Lock-free.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) // 2^(b-1) <= v < 2^b
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Buckets returns a snapshot of the bucket counts.
+func (h *Histogram) Buckets() [HistBuckets]int64 {
+	var out [HistBuckets]int64
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// instrument is the registry's view of one named metric.
+type instrument struct {
+	name string
+	help string
+	read func(w io.Writer, name string)
+}
+
+// Registry holds named instruments. Registration takes a mutex; using a
+// registered instrument is lock-free. Names follow Prometheus conventions
+// and may embed a label set, e.g. `charmgo_mailbox_depth{pe="3"}`.
+type Registry struct {
+	mu   sync.Mutex
+	ins  []instrument
+	byNm map[string]any // name -> *Counter/*Gauge/*Histogram/GaugeFunc marker
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byNm: make(map[string]any)}
+}
+
+// register installs read under name, or returns the existing instrument of
+// the same name (idempotent by name; panics on a type collision so wiring
+// bugs fail loudly in tests).
+func (r *Registry) register(name, help string, v any, read func(io.Writer, string)) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byNm[name]; ok {
+		if fmt.Sprintf("%T", old) != fmt.Sprintf("%T", v) {
+			panic(fmt.Sprintf("metrics: %q re-registered as %T (was %T)", name, v, old))
+		}
+		return old
+	}
+	r.byNm[name] = v
+	r.ins = append(r.ins, instrument{name: name, help: help, read: read})
+	return v
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	got := r.register(name, help, c, func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, c.Value())
+	})
+	cc, ok := got.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q is not a counter", name))
+	}
+	if cc != c {
+		return cc
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	got := r.register(name, help, g, func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, g.Value())
+	})
+	gg, ok := got.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q is not a gauge", name))
+	}
+	return gg
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time by fn
+// (e.g. current mailbox depth). Re-registering the same name keeps the
+// first function.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	r.register(name, help, fn, func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, fn())
+	})
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed. Exposed as cumulative `_bucket{le="..."}` lines plus `_sum` and
+// `_count`, Prometheus-style.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := &Histogram{}
+	got := r.register(name, help, h, func(w io.Writer, n string) {
+		bk := h.Buckets()
+		var cum int64
+		for i, c := range bk {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			// upper bound of bucket i is 2^i - 1... use 1<<i as "le"
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, int64(1)<<uint(i), cum)
+		}
+		fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count())
+	})
+	hh, ok := got.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q is not a histogram", name))
+	}
+	return hh
+}
+
+// WriteText writes every instrument in a Prometheus-style text exposition,
+// sorted by name for stable output.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	ins := append([]instrument(nil), r.ins...)
+	r.mu.Unlock()
+	sort.Slice(ins, func(i, j int) bool { return ins[i].name < ins[j].name })
+	for _, in := range ins {
+		if in.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", baseName(in.name), in.help)
+		}
+		in.read(w, in.name)
+	}
+}
+
+// baseName strips a trailing {label="..."} set from a metric name.
+func baseName(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -213,6 +213,35 @@ type Result struct {
 	PEWork     []float64
 }
 
+// Entry builds the stencil3d program entry point: it creates the block
+// array, waits for completion, gathers per-PE work statistics, and fills
+// res. Usable both by RunCharm (single process) and by a charmrun-launched
+// multi-node job (examples/stencil3d).
+func Entry(p Params, res *Result) func(self *core.Chare) {
+	return func(self *core.Chare) {
+		defer self.Exit()
+		res.PEs = self.NumPEs()
+		res.Blocks = p.NumBlocks()
+		done := self.CreateFuture()
+		stats := self.CreateFuture()
+		t0 := time.Now()
+		arr := self.NewArray(&Block{}, []int{p.BX, p.BY, p.BZ}, p, done, stats)
+		sum := done.Get()
+		res.WallSeconds = time.Since(t0).Seconds()
+		res.Checksum = toFloat(sum)
+		res.TimePerStepMS = res.WallSeconds / float64(p.Iters) * 1000
+		arr.Call("ReportStats")
+		list := stats.Get().([]any)
+		work := make([]float64, self.NumPEs())
+		for _, it := range list {
+			v := it.([]float64)
+			work[int(v[0])] += v[1]
+		}
+		res.PEWork = work
+		res.MaxOverAvg = maxOverAvg(work)
+	}
+}
+
 // RunCharm runs the charm implementation under the given runtime config and
 // returns measurements. It creates its own single-node runtime.
 func RunCharm(p Params, ccfg core.Config) (Result, error) {
@@ -226,28 +255,7 @@ func RunCharm(p Params, ccfg core.Config) (Result, error) {
 	if ccfg.Dispatch == core.DynamicDispatch {
 		res.Impl = "charm-dynamic"
 	}
-	res.PEs = rt.NumPEs()
-	res.Blocks = p.NumBlocks()
-	rt.Start(func(self *core.Chare) {
-		defer self.Exit()
-		done := self.CreateFuture()
-		stats := self.CreateFuture()
-		t0 := time.Now()
-		arr := self.NewArray(&Block{}, []int{p.BX, p.BY, p.BZ}, p, done, stats)
-		sum := done.Get()
-		res.WallSeconds = time.Since(t0).Seconds()
-		res.Checksum = toFloat(sum)
-		res.TimePerStepMS = res.WallSeconds / float64(p.Iters) * 1000
-		arr.Call("ReportStats")
-		list := stats.Get().([]any)
-		work := make([]float64, rt.NumPEs())
-		for _, it := range list {
-			v := it.([]float64)
-			work[int(v[0])] += v[1]
-		}
-		res.PEWork = work
-		res.MaxOverAvg = maxOverAvg(work)
-	})
+	rt.Start(Entry(p, &res))
 	return res, nil
 }
 

@@ -1,9 +1,17 @@
-// Package trace is a lightweight performance-tracing facility for the
-// charmgo runtime, in the spirit of Charm++'s Projections: it records entry
-// method executions and message sends per PE, and produces utilization and
-// per-method summaries. Attach a Tracer through core.Config.Trace; the
-// runtime records events only when one is attached (zero overhead
-// otherwise).
+// Package trace is the charmgo performance-tracing facility, in the spirit
+// of Charm++'s Projections: it records the full lifecycle of runtime
+// activity per PE — entry-method executions, message sends and dequeues
+// (queue-wait latency), PE idle spans, reductions, futures, quiescence,
+// migrations, load-balancer decisions, aggregator flushes and transport
+// frames — and produces utilization summaries, a PE×PE communication
+// matrix, and Chrome trace-event timelines (chrome.go) loadable in
+// Perfetto.
+//
+// Attach a Tracer through core.Config.Trace; the runtime records events
+// only when one is attached (zero overhead otherwise). Per-shard ring
+// buffers bound memory: once a PE's buffer is full the oldest events are
+// overwritten and Dropped counts the loss, so long runs cannot OOM the
+// tracer.
 package trace
 
 import (
@@ -12,6 +20,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,11 +31,53 @@ type Kind uint8
 const (
 	// EvEM is one entry-method execution (Dur covers the run time).
 	EvEM Kind = iota
-	// EvSend is one message send.
+	// EvSend is one message send (Dest is the destination PE when known).
 	EvSend
+	// EvRecv is one message dequeue at its destination PE; Dur is the time
+	// the message waited in the mailbox (queue-wait latency).
+	EvRecv
+	// EvIdle is a span during which the PE scheduler had no work.
+	EvIdle
+	// EvReduction is one completed reduction at its root PE.
+	EvReduction
+	// EvFuture is one future fulfilled on its owner PE.
+	EvFuture
+	// EvQD is one quiescence detection at the coordinator.
+	EvQD
+	// EvMigrateOut is one element emigrating (Dest is the destination PE).
+	EvMigrateOut
+	// EvMigrateIn is one element arriving after migration.
+	EvMigrateIn
+	// EvLB is one load-balancer decision at a collection root (N = number
+	// of migration orders issued).
+	EvLB
+	// EvFlush is one aggregator batch transmission (Dest = destination
+	// node, Bytes = batch frame size, N = messages coalesced).
+	EvFlush
+	// EvFrameOut is one outbound transport frame (Dest = destination node).
+	EvFrameOut
+	// EvFrameIn is one inbound transport frame (Dest = source node).
+	EvFrameIn
+
+	numKinds
 )
 
-// Event is one recorded occurrence.
+var kindNames = [numKinds]string{
+	"em", "send", "recv", "idle", "reduction", "future", "qd",
+	"migrate-out", "migrate-in", "lb", "flush", "frame-out", "frame-in",
+}
+
+// String returns a short stable name for the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded occurrence. PE is a node-local PE index (see
+// Report.BasePE for the global offset); Dest is a global PE or node id
+// depending on Kind.
 type Event struct {
 	PE     int           `json:"pe"`
 	Kind   Kind          `json:"kind"`
@@ -35,25 +86,70 @@ type Event struct {
 	Chare  string        `json:"chare,omitempty"`
 	Method string        `json:"method,omitempty"`
 	Bytes  int           `json:"bytes,omitempty"` // wire size; 0 for in-node
+	Dest   int           `json:"dest,omitempty"`  // destination PE/node (kind-specific)
+	N      int           `json:"n,omitempty"`     // kind-specific count (LB moves, batch msgs)
 }
+
+// DefaultEventCap is the per-shard ring-buffer capacity used by New.
+const DefaultEventCap = 1 << 16
 
 // Tracer collects events. Safe for concurrent use; per-PE buffers keep
 // contention off the hot path.
 type Tracer struct {
-	start time.Time
-	shard []shard
-	extra shard // events with unknown PE
+	start   time.Time
+	cap     int
+	shard   []shard
+	extra   shard // events with unknown PE
+	dropped atomic.Uint64
+
+	// communication matrices, allocated by SetTopology (totalPEs×totalPEs,
+	// row-major src×dst, atomically updated).
+	totalPEs  int
+	basePE    int
+	commBytes []int64
+	commMsgs  []int64
 }
 
+// shard is one PE's event ring. Until the ring reaches cap events it grows
+// by appending; afterwards the oldest event is overwritten (next is the
+// overwrite cursor) and the tracer-wide dropped counter increments.
 type shard struct {
-	mu sync.Mutex
-	ev []Event
+	mu   sync.Mutex
+	ev   []Event
+	next int
+	full bool
 }
 
-// New creates a tracer for numPEs local PEs.
-func New(numPEs int) *Tracer {
-	return &Tracer{start: time.Now(), shard: make([]shard, numPEs)}
+// New creates a tracer for numPEs local PEs with the default event cap.
+func New(numPEs int) *Tracer { return NewWithCap(numPEs, DefaultEventCap) }
+
+// NewWithCap creates a tracer whose per-PE ring buffers hold at most cap
+// events each (cap <= 0 selects DefaultEventCap).
+func NewWithCap(numPEs, cap int) *Tracer {
+	if cap <= 0 {
+		cap = DefaultEventCap
+	}
+	return &Tracer{start: time.Now(), cap: cap, shard: make([]shard, numPEs)}
 }
+
+// SetTopology tells the tracer the job's global shape so it can account the
+// PE×PE communication matrix. Called by the runtime at Start; without it the
+// matrix stays nil and Comm is a no-op.
+func (t *Tracer) SetTopology(totalPEs, basePE int) {
+	if totalPEs <= 0 {
+		return
+	}
+	t.totalPEs = totalPEs
+	t.basePE = basePE
+	t.commBytes = make([]int64, totalPEs*totalPEs)
+	t.commMsgs = make([]int64, totalPEs*totalPEs)
+}
+
+// NumPEs returns the number of local PE shards.
+func (t *Tracer) NumPEs() int { return len(t.shard) }
+
+// Dropped returns the number of events lost to ring-buffer overwrites.
+func (t *Tracer) Dropped() uint64 { return t.dropped.Load() }
 
 func (t *Tracer) bucket(pe int) *shard {
 	if pe >= 0 && pe < len(t.shard) {
@@ -62,24 +158,109 @@ func (t *Tracer) bucket(pe int) *shard {
 	return &t.extra
 }
 
+// record appends e to the PE's ring, overwriting the oldest event when full.
+func (t *Tracer) record(pe int, e Event) {
+	b := t.bucket(pe)
+	b.mu.Lock()
+	if len(b.ev) < t.cap {
+		b.ev = append(b.ev, e)
+	} else {
+		b.ev[b.next] = e
+		b.next++
+		if b.next == len(b.ev) {
+			b.next = 0
+		}
+		b.full = true
+		t.dropped.Add(1)
+	}
+	b.mu.Unlock()
+}
+
 // Since returns the tracer-relative timestamp for now.
 func (t *Tracer) Since() time.Duration { return time.Since(t.start) }
 
 // EM records one entry-method execution.
 func (t *Tracer) EM(pe int, chare, method string, at, dur time.Duration) {
-	b := t.bucket(pe)
-	b.mu.Lock()
-	b.ev = append(b.ev, Event{PE: pe, Kind: EvEM, At: at, Dur: dur, Chare: chare, Method: method})
-	b.mu.Unlock()
+	t.record(pe, Event{PE: pe, Kind: EvEM, At: at, Dur: dur, Chare: chare, Method: method})
 }
 
 // Send records one message send (bytes 0 when the message stayed in-node by
 // reference).
 func (t *Tracer) Send(pe int, method string, at time.Duration, bytes int) {
-	b := t.bucket(pe)
-	b.mu.Lock()
-	b.ev = append(b.ev, Event{PE: pe, Kind: EvSend, At: at, Method: method, Bytes: bytes})
-	b.mu.Unlock()
+	t.record(pe, Event{PE: pe, Kind: EvSend, At: at, Method: method, Bytes: bytes})
+}
+
+// SendTo is Send with the destination PE recorded.
+func (t *Tracer) SendTo(pe, dest int, method string, at time.Duration, bytes int) {
+	t.record(pe, Event{PE: pe, Kind: EvSend, At: at, Method: method, Bytes: bytes, Dest: dest})
+}
+
+// Recv records one message dequeue; wait is the mailbox queue-wait latency.
+func (t *Tracer) Recv(pe int, method string, at, wait time.Duration) {
+	t.record(pe, Event{PE: pe, Kind: EvRecv, At: at, Dur: wait, Method: method})
+}
+
+// Idle records a span during which the PE had no work.
+func (t *Tracer) Idle(pe int, at, dur time.Duration) {
+	t.record(pe, Event{PE: pe, Kind: EvIdle, At: at, Dur: dur})
+}
+
+// Reduction records one completed reduction at its root PE.
+func (t *Tracer) Reduction(pe int, at time.Duration, contributions int) {
+	t.record(pe, Event{PE: pe, Kind: EvReduction, At: at, N: contributions})
+}
+
+// FutureSet records one future completing on its owner PE.
+func (t *Tracer) FutureSet(pe int, at time.Duration) {
+	t.record(pe, Event{PE: pe, Kind: EvFuture, At: at})
+}
+
+// QD records one quiescence detection at the coordinator PE.
+func (t *Tracer) QD(pe int, at time.Duration) {
+	t.record(pe, Event{PE: pe, Kind: EvQD, At: at})
+}
+
+// MigrateOut records one element leaving this PE for dest (a global PE).
+func (t *Tracer) MigrateOut(pe, dest int, chare string, at time.Duration) {
+	t.record(pe, Event{PE: pe, Kind: EvMigrateOut, At: at, Chare: chare, Dest: dest})
+}
+
+// MigrateIn records one element arriving on this PE.
+func (t *Tracer) MigrateIn(pe int, chare string, at time.Duration) {
+	t.record(pe, Event{PE: pe, Kind: EvMigrateIn, At: at, Chare: chare})
+}
+
+// LB records one load-balancer decision issuing moves migration orders.
+func (t *Tracer) LB(pe int, at time.Duration, moves int) {
+	t.record(pe, Event{PE: pe, Kind: EvLB, At: at, N: moves})
+}
+
+// Flush records one aggregator batch transmission to a node.
+func (t *Tracer) Flush(node int, at time.Duration, bytes, msgs int) {
+	t.record(-1, Event{PE: -1, Kind: EvFlush, At: at, Dest: node, Bytes: bytes, N: msgs})
+}
+
+// Frame records one transport frame crossing the node boundary; out selects
+// the direction, node is the peer.
+func (t *Tracer) Frame(out bool, node int, at time.Duration, bytes int) {
+	k := EvFrameIn
+	if out {
+		k = EvFrameOut
+	}
+	t.record(-1, Event{PE: -1, Kind: k, At: at, Dest: node, Bytes: bytes})
+}
+
+// Comm accounts bytes on the wire from global PE src to global PE dst in the
+// communication matrix. No-op until SetTopology; negative/out-of-range PEs
+// (e.g. runtime-internal senders) are ignored.
+func (t *Tracer) Comm(src, dst, bytes int) {
+	n := t.totalPEs
+	if t.commBytes == nil || src < 0 || dst < 0 || src >= n || dst >= n {
+		return
+	}
+	i := src*n + dst
+	atomic.AddInt64(&t.commBytes[i], int64(bytes))
+	atomic.AddInt64(&t.commMsgs[i], 1)
 }
 
 // Snapshot returns all events ordered by time.
@@ -87,14 +268,68 @@ func (t *Tracer) Snapshot() []Event {
 	var out []Event
 	collect := func(s *shard) {
 		s.mu.Lock()
-		out = append(out, s.ev...)
+		if s.full {
+			// ring wrapped: oldest events start at the overwrite cursor
+			out = append(out, s.ev[s.next:]...)
+			out = append(out, s.ev[:s.next]...)
+		} else {
+			out = append(out, s.ev...)
+		}
 		s.mu.Unlock()
 	}
 	for i := range t.shard {
 		collect(&t.shard[i])
 	}
 	collect(&t.extra)
-	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Report is one node's complete trace, shippable to node 0 for job-wide
+// aggregation (core gathers these over the exit protocol).
+type Report struct {
+	Node          int
+	BasePE        int // first global PE hosted by the node
+	NumPEs        int // local PE count
+	TotalPEs      int // job-wide PE count
+	StartUnixNano int64
+	Wall          time.Duration
+	Dropped       uint64
+	Events        []Event
+	// CommBytes/CommMsgs are TotalPEs×TotalPEs row-major src×dst matrices;
+	// only rows for this node's PEs are populated (each node accounts its
+	// own sends). Nil when SetTopology was never called.
+	CommBytes []int64
+	CommMsgs  []int64
+}
+
+// Report snapshots this tracer as a node report.
+func (t *Tracer) Report(node int) Report {
+	r := Report{
+		Node:          node,
+		BasePE:        t.basePE,
+		NumPEs:        len(t.shard),
+		TotalPEs:      t.totalPEs,
+		StartUnixNano: t.start.UnixNano(),
+		Wall:          t.Since(),
+		Dropped:       t.Dropped(),
+		Events:        t.Snapshot(),
+	}
+	if r.TotalPEs == 0 {
+		r.TotalPEs = len(t.shard)
+	}
+	if t.commBytes != nil {
+		r.CommBytes = atomicCopy(t.commBytes)
+		r.CommMsgs = atomicCopy(t.commMsgs)
+	}
+	return r
+}
+
+func atomicCopy(src []int64) []int64 {
+	out := make([]int64, len(src))
+	for i := range src {
+		out[i] = atomic.LoadInt64(&src[i])
+	}
 	return out
 }
 
@@ -107,20 +342,29 @@ type MethodStat struct {
 	Max    time.Duration
 }
 
-// Summary aggregates a trace.
+// Summary aggregates a single tracer's events (node-local view; use
+// Aggregate for job-wide summaries across gathered reports).
 type Summary struct {
 	Wall    time.Duration
 	PEBusy  []time.Duration // per-PE entry-method time
+	PEIdle  []time.Duration // per-PE measured idle time
 	Sends   int
+	Recvs   int
 	Bytes   int64
 	Methods []MethodStat // sorted by total time, descending
 	NumEMs  int
+	Dropped uint64
 }
 
 // Summarize computes aggregate statistics from the recorded events.
 func (t *Tracer) Summarize() Summary {
 	evs := t.Snapshot()
-	s := Summary{Wall: t.Since(), PEBusy: make([]time.Duration, len(t.shard))}
+	s := Summary{
+		Wall:    t.Since(),
+		PEBusy:  make([]time.Duration, len(t.shard)),
+		PEIdle:  make([]time.Duration, len(t.shard)),
+		Dropped: t.Dropped(),
+	}
 	byMethod := map[string]*MethodStat{}
 	for _, e := range evs {
 		switch e.Kind {
@@ -140,9 +384,15 @@ func (t *Tracer) Summarize() Summary {
 			if e.Dur > m.Max {
 				m.Max = e.Dur
 			}
+		case EvIdle:
+			if e.PE >= 0 && e.PE < len(s.PEIdle) {
+				s.PEIdle[e.PE] += e.Dur
+			}
 		case EvSend:
 			s.Sends++
 			s.Bytes += int64(e.Bytes)
+		case EvRecv:
+			s.Recvs++
 		}
 	}
 	for _, m := range byMethod {
@@ -172,8 +422,12 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 
 // Fprint writes a human-readable summary table.
 func (s Summary) Fprint(w io.Writer) {
-	fmt.Fprintf(w, "wall %.3fs, %d entry methods, %d sends (%d bytes on the wire)\n",
+	fmt.Fprintf(w, "wall %.3fs, %d entry methods, %d sends (%d bytes on the wire)",
 		s.Wall.Seconds(), s.NumEMs, s.Sends, s.Bytes)
+	if s.Dropped > 0 {
+		fmt.Fprintf(w, ", %d events dropped", s.Dropped)
+	}
+	fmt.Fprintln(w)
 	util := s.Utilization()
 	for pe, u := range util {
 		fmt.Fprintf(w, "  PE %-3d busy %5.1f%% (%8.3fms)\n", pe, u*100, s.PEBusy[pe].Seconds()*1000)
@@ -182,5 +436,194 @@ func (s Summary) Fprint(w io.Writer) {
 	for _, m := range s.Methods {
 		fmt.Fprintf(w, "  %-32s %8d %10.3fms %10.3fms\n",
 			m.Chare+"."+m.Method, m.Count, m.Total.Seconds()*1000, m.Max.Seconds()*1000)
+	}
+}
+
+// ---- job-wide aggregation across gathered node reports ----
+
+// PEStat is one global PE's aggregate activity.
+type PEStat struct {
+	Busy  time.Duration
+	Idle  time.Duration
+	EMs   int
+	Sends int
+	Recvs int
+}
+
+// GlobalSummary aggregates the reports of every node of a job.
+type GlobalSummary struct {
+	TotalPEs int
+	Wall     time.Duration // max over nodes
+	PE       []PEStat      // indexed by global PE
+	Methods  []MethodStat
+	Dropped  uint64
+	// CommBytes/CommMsgs are the merged TotalPEs×TotalPEs src×dst matrices
+	// (nil when no report carried one).
+	CommBytes []int64
+	CommMsgs  []int64
+}
+
+// Aggregate merges node reports into a job-wide summary.
+func Aggregate(reports []Report) GlobalSummary {
+	g := GlobalSummary{}
+	for _, r := range reports {
+		if n := r.BasePE + r.NumPEs; n > g.TotalPEs {
+			g.TotalPEs = n
+		}
+		if r.TotalPEs > g.TotalPEs {
+			g.TotalPEs = r.TotalPEs
+		}
+		if r.Wall > g.Wall {
+			g.Wall = r.Wall
+		}
+		g.Dropped += r.Dropped
+	}
+	g.PE = make([]PEStat, g.TotalPEs)
+	byMethod := map[string]*MethodStat{}
+	for _, r := range reports {
+		for _, e := range r.Events {
+			gpe := e.PE
+			if gpe >= 0 && gpe < r.NumPEs {
+				gpe += r.BasePE
+			} else {
+				gpe = -1
+			}
+			switch e.Kind {
+			case EvEM:
+				if gpe >= 0 {
+					g.PE[gpe].Busy += e.Dur
+					g.PE[gpe].EMs++
+				}
+				key := e.Chare + "." + e.Method
+				m := byMethod[key]
+				if m == nil {
+					m = &MethodStat{Chare: e.Chare, Method: e.Method}
+					byMethod[key] = m
+				}
+				m.Count++
+				m.Total += e.Dur
+				if e.Dur > m.Max {
+					m.Max = e.Dur
+				}
+			case EvIdle:
+				if gpe >= 0 {
+					g.PE[gpe].Idle += e.Dur
+				}
+			case EvSend:
+				if gpe >= 0 {
+					g.PE[gpe].Sends++
+				}
+			case EvRecv:
+				if gpe >= 0 {
+					g.PE[gpe].Recvs++
+				}
+			}
+		}
+		if r.CommBytes != nil && len(r.CommBytes) == g.TotalPEs*g.TotalPEs {
+			if g.CommBytes == nil {
+				g.CommBytes = make([]int64, g.TotalPEs*g.TotalPEs)
+				g.CommMsgs = make([]int64, g.TotalPEs*g.TotalPEs)
+			}
+			for i, v := range r.CommBytes {
+				g.CommBytes[i] += v
+			}
+			for i, v := range r.CommMsgs {
+				g.CommMsgs[i] += v
+			}
+		}
+	}
+	for _, m := range byMethod {
+		g.Methods = append(g.Methods, *m)
+	}
+	sort.Slice(g.Methods, func(i, j int) bool { return g.Methods[i].Total > g.Methods[j].Total })
+	return g
+}
+
+// Utilization returns each global PE's busy fraction of the wall time.
+func (g GlobalSummary) Utilization() []float64 {
+	out := make([]float64, len(g.PE))
+	if g.Wall <= 0 {
+		return out
+	}
+	for i := range g.PE {
+		out[i] = float64(g.PE[i].Busy) / float64(g.Wall)
+	}
+	return out
+}
+
+// Fprint writes the job-wide utilization table, per-method grain sizes, and
+// the PE×PE communication matrix.
+func (g GlobalSummary) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "job: %d PEs, wall %.3fs", g.TotalPEs, g.Wall.Seconds())
+	if g.Dropped > 0 {
+		fmt.Fprintf(w, " (%d events dropped by ring buffers)", g.Dropped)
+	}
+	fmt.Fprintln(w)
+	util := g.Utilization()
+	for pe, st := range g.PE {
+		fmt.Fprintf(w, "  PE %-3d busy %5.1f%% idle %5.1f%%  ems %-7d sends %-7d recvs %d\n",
+			pe, util[pe]*100, idleFrac(st.Idle, g.Wall)*100, st.EMs, st.Sends, st.Recvs)
+	}
+	fmt.Fprintf(w, "  %-32s %8s %12s %12s %12s\n", "entry method", "count", "total", "mean", "max")
+	for _, m := range g.Methods {
+		mean := time.Duration(0)
+		if m.Count > 0 {
+			mean = m.Total / time.Duration(m.Count)
+		}
+		fmt.Fprintf(w, "  %-32s %8d %10.3fms %10.4fms %10.3fms\n",
+			m.Chare+"."+m.Method, m.Count, m.Total.Seconds()*1000, mean.Seconds()*1000, m.Max.Seconds()*1000)
+	}
+	g.fprintMatrix(w)
+}
+
+func idleFrac(idle, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(idle) / float64(wall)
+}
+
+// fprintMatrix prints the PE×PE wire-byte matrix (dense up to 16 PEs, top
+// pairs beyond that).
+func (g GlobalSummary) fprintMatrix(w io.Writer) {
+	if g.CommBytes == nil {
+		return
+	}
+	n := g.TotalPEs
+	fmt.Fprintf(w, "  PE×PE wire bytes (row src → col dst):\n")
+	if n <= 16 {
+		fmt.Fprintf(w, "  %6s", "")
+		for j := 0; j < n; j++ {
+			fmt.Fprintf(w, " %8d", j)
+		}
+		fmt.Fprintln(w)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(w, "  %6d", i)
+			for j := 0; j < n; j++ {
+				fmt.Fprintf(w, " %8d", g.CommBytes[i*n+j])
+			}
+			fmt.Fprintln(w)
+		}
+		return
+	}
+	type pair struct {
+		src, dst int
+		bytes    int64
+	}
+	var pairs []pair
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if b := g.CommBytes[i*n+j]; b > 0 {
+				pairs = append(pairs, pair{i, j, b})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].bytes > pairs[j].bytes })
+	if len(pairs) > 10 {
+		pairs = pairs[:10]
+	}
+	for _, p := range pairs {
+		fmt.Fprintf(w, "    PE %d → PE %d: %d bytes (%d msgs)\n",
+			p.src, p.dst, p.bytes, g.CommMsgs[p.src*n+p.dst])
 	}
 }

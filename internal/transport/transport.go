@@ -238,10 +238,14 @@ func (e *MemEndpoint) Close() error {
 // one connection). Frames are length-prefixed (4-byte big-endian) and the
 // dialing side sends its node id as the first frame.
 type TCP struct {
-	id    int
-	addrs []string
-	ln    net.Listener
-	h     atomic.Pointer[Handler] // lock-free read on the per-frame hot path
+	id        int
+	addrs     []string
+	ln        net.Listener
+	h         atomic.Pointer[Handler] // lock-free read on the per-frame hot path
+	hset      chan struct{}           // closed when the first SetHandler runs
+	hsetOnce  sync.Once
+	closed    chan struct{} // closed by Close
+	hsTimeout time.Duration
 
 	mu    sync.Mutex
 	conns map[int]net.Conn
@@ -251,15 +255,34 @@ type TCP struct {
 	done  bool
 }
 
+// DefaultHandshakeTimeout bounds each phase of the NewTCP startup handshake
+// (dialing lower peers, waiting for higher peers to dial us, and reading a
+// dialer's hello). A node that cannot complete the mesh fails fast with a
+// diagnostic naming the missing peers instead of idling forever.
+const DefaultHandshakeTimeout = 30 * time.Second
+
 // NewTCP creates the transport for node id and connects the full mesh.
-// It blocks until every pairwise connection is established.
+// It blocks until every pairwise connection is established or
+// DefaultHandshakeTimeout expires.
 func NewTCP(id int, addrs []string) (*TCP, error) {
+	return NewTCPWithTimeout(id, addrs, DefaultHandshakeTimeout)
+}
+
+// NewTCPWithTimeout is NewTCP with an explicit startup handshake timeout
+// (timeout <= 0 selects the default).
+func NewTCPWithTimeout(id int, addrs []string, timeout time.Duration) (*TCP, error) {
+	if timeout <= 0 {
+		timeout = DefaultHandshakeTimeout
+	}
 	t := &TCP{
-		id:    id,
-		addrs: addrs,
-		conns: make(map[int]net.Conn),
-		wmu:   make(map[int]*sync.Mutex),
-		ready: make(chan struct{}),
+		id:        id,
+		addrs:     addrs,
+		conns:     make(map[int]net.Conn),
+		wmu:       make(map[int]*sync.Mutex),
+		ready:     make(chan struct{}),
+		hset:      make(chan struct{}),
+		closed:    make(chan struct{}),
+		hsTimeout: timeout,
 	}
 	ln, err := net.Listen("tcp", addrs[id])
 	if err != nil {
@@ -269,10 +292,10 @@ func NewTCP(id int, addrs []string) (*TCP, error) {
 	go t.acceptLoop()
 	// Dial lower-numbered peers.
 	for j := 0; j < id; j++ {
-		conn, err := dialRetry(addrs[j], 10*time.Second)
+		conn, err := dialRetry(addrs[j], timeout)
 		if err != nil {
 			ln.Close()
-			return nil, fmt.Errorf("transport: dial node %d (%s): %w", j, addrs[j], err)
+			return nil, fmt.Errorf("transport: node %d startup handshake: dial node %d (%s): %w", id, j, addrs[j], err)
 		}
 		// Handshake: send our node id.
 		hello := make([]byte, 8)
@@ -280,15 +303,40 @@ func NewTCP(id int, addrs []string) (*TCP, error) {
 		binary.BigEndian.PutUint32(hello[4:], uint32(id))
 		if _, err := conn.Write(hello); err != nil {
 			ln.Close()
-			return nil, fmt.Errorf("transport: handshake with node %d: %w", j, err)
+			return nil, fmt.Errorf("transport: node %d startup handshake: hello to node %d: %w", id, j, err)
 		}
 		t.addConn(j, conn)
 	}
 	// Wait until higher-numbered peers have dialed us.
 	if len(addrs) > 1 {
-		<-t.ready
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		select {
+		case <-t.ready:
+		case <-timer.C:
+			missing := t.missingPeers()
+			t.Close()
+			return nil, fmt.Errorf("transport: node %d startup handshake: timed out after %v in accept phase, still waiting for node(s) %v to connect",
+				id, timeout, missing)
+		}
 	}
 	return t, nil
+}
+
+// missingPeers lists the nodes this endpoint has no connection to yet.
+func (t *TCP) missingPeers() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var missing []int
+	for j := range t.addrs {
+		if j == t.id {
+			continue
+		}
+		if _, ok := t.conns[j]; !ok {
+			missing = append(missing, j)
+		}
+	}
+	return missing
 }
 
 // dialRetry dials addr with exponential backoff (peers may not be listening
@@ -324,11 +372,15 @@ func (t *TCP) acceptLoop() {
 			return
 		}
 		go func(c net.Conn) {
+			// A dialer that never completes its hello must not wedge the
+			// accept path: bound the read.
+			c.SetReadDeadline(time.Now().Add(t.hsTimeout))
 			frame, err := readFrame(c)
 			if err != nil || len(frame) != 4 {
 				c.Close()
 				return
 			}
+			c.SetReadDeadline(time.Time{})
 			peer := int(binary.BigEndian.Uint32(frame))
 			t.addConn(peer, c)
 		}(conn)
@@ -349,12 +401,23 @@ func (t *TCP) addConn(peer int, c net.Conn) {
 }
 
 func (t *TCP) readLoop(peer int, c net.Conn) {
+	// Do not consume application frames until the runtime has installed its
+	// handler. Connections come up inside NewTCP, but SetHandler only runs
+	// later inside Runtime.Start; a frame read in that window would have to
+	// be dropped — which is exactly how a fast node 0's initial broadcast
+	// used to vanish, leaving the receiving node idle forever. Parking here
+	// leaves the data in the kernel socket buffer until we are ready.
+	select {
+	case <-t.hset:
+	case <-t.closed:
+		return
+	}
 	for {
 		frame, err := readFrame(c)
 		if err != nil {
 			return
 		}
-		if hp := t.h.Load(); hp != nil {
+		if hp := t.h.Load(); hp != nil { // reloaded per frame: handler may be swapped
 			(*hp)(peer, frame)
 		}
 	}
@@ -382,8 +445,12 @@ func (t *TCP) NodeID() int { return t.id }
 // NumNodes implements Transport.
 func (t *TCP) NumNodes() int { return len(t.addrs) }
 
-// SetHandler implements Transport.
-func (t *TCP) SetHandler(h Handler) { t.h.Store(&h) }
+// SetHandler implements Transport. The first call releases the per-peer
+// read loops, which hold off consuming frames until a handler exists.
+func (t *TCP) SetHandler(h Handler) {
+	t.h.Store(&h)
+	t.hsetOnce.Do(func() { close(t.hset) })
+}
 
 // conn returns the connection and write lock for a peer.
 func (t *TCP) conn(node int) (net.Conn, *sync.Mutex, error) {
@@ -434,10 +501,14 @@ func (t *TCP) SendBuf(node int, buf []byte) error {
 // Close implements Transport.
 func (t *TCP) Close() error {
 	t.mu.Lock()
+	first := !t.done
 	t.done = true
 	conns := t.conns
 	t.conns = map[int]net.Conn{}
 	t.mu.Unlock()
+	if first {
+		close(t.closed)
+	}
 	t.ln.Close()
 	for _, c := range conns {
 		c.Close()
