@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check race bench vet profile
+.PHONY: all build test check lint charmvet race fuzz bench vet profile
 
 all: build
 
@@ -13,14 +13,27 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# check is the CI gate for the concurrency-sensitive packages: vet the whole
-# module, then run the runtime core, transport, and metrics registry under
-# the race detector.
-check: vet
-	$(GO) test -race ./internal/core/... ./internal/transport/... ./internal/metrics/... ./internal/trace/...
+# charmvet enforces the CharmGo model invariants the compiler cannot see
+# (entry-method signatures, gob safety, PE-blocking calls, nil-guarded
+# instrumentation, wire-buffer ownership). See DESIGN.md §3.3.
+charmvet:
+	$(GO) run ./cmd/charmvet ./...
+
+lint: vet charmvet
+
+# check is the CI gate: build everything, lint (go vet + charmvet), then run
+# the full test suite under the race detector.
+check: build lint
+	$(GO) test -race ./...
 
 race:
 	$(GO) test -race ./...
+
+# fuzz runs each native fuzz target briefly against the committed seed
+# corpora plus fresh mutations; CI-sized smoke, not a campaign.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzDecodeInvoke -fuzztime 10s ./internal/ser
 
 bench:
 	$(GO) test -run xxx -bench BenchmarkRemoteInvokeRate -benchtime 2s .

@@ -1,0 +1,86 @@
+// Command charmvet reports violations of CharmGo's programming-model
+// invariants that the Go compiler cannot see: entry methods are invoked by
+// reflection, messages travel through gob, and wire buffers are pooled, so
+// a signature the dispatcher cannot call, a struct gob silently truncates,
+// a blocking call on the PE scheduler, an unguarded trace hook, or a buffer
+// reused after its ownership moved all compile cleanly and fail at runtime.
+//
+// Usage:
+//
+//	charmvet [-checks list] [-list] [packages]
+//
+// Package patterns follow the go tool: ./... for the whole module, a
+// directory path for one package. With no arguments, ./... is assumed.
+// Exit status is 1 when diagnostics were reported, 2 on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"charmgo/internal/analysis"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: charmvet [-checks entrysig,gobsafe,...] [-list] [packages]\n\nChecks:\n")
+		for _, a := range analysis.All {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All
+	if *checks != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "charmvet: unknown check %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "charmvet: %v\n", err)
+		os.Exit(2)
+	}
+	mod, err := analysis.LoadModule(wd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "charmvet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := mod.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "charmvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(analyzers, pkgs, mod.Fset)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

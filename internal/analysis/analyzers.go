@@ -1,0 +1,20 @@
+package analysis
+
+// All is the full charmvet suite, in report order.
+var All = []*Analyzer{
+	EntrySig,
+	GobSafe,
+	NoBlock,
+	TraceHook,
+	SendOwn,
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

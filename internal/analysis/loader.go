@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Module is a loaded Go module: its packages parsed and type-checked from
+// source with no toolchain invocation and no dependencies outside the
+// standard library. It exists because the x/tools packages loader is not
+// available offline; the subset implemented here is exactly what the
+// charmvet analyzers need:
+//
+//   - module packages are fully type-checked (function bodies included) and
+//     loading fails loudly on any error, since analyzers cannot run soundly
+//     over broken types;
+//   - standard-library dependencies are type-checked from GOROOT source with
+//     IgnoreFuncBodies (only their API surface matters) and with cgo
+//     disabled, so packages like net resolve to their pure-Go variants.
+type Module struct {
+	Fset *token.FileSet
+	Root string // absolute path of the directory containing go.mod
+	Path string // module path declared in go.mod
+
+	goroot  string
+	ctxt    build.Context
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // import-cycle guard
+}
+
+// Package is one loaded package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	InModule   bool
+}
+
+// LoadModule locates the enclosing module of dir and prepares a loader.
+func LoadModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	return &Module{
+		Fset:    token.NewFileSet(),
+		Root:    root,
+		Path:    modPath,
+		goroot:  runtime.GOROOT(),
+		ctxt:    ctxt,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Load resolves package patterns to loaded module packages. Supported
+// patterns: "./..." (every package under the module root), and directory
+// paths relative to the module root or absolute. Directories named testdata
+// or vendor, and directories starting with "." or "_", are never matched by
+// "./...".
+func (m *Module) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			ds, err := m.walkDirs(m.Root)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, ds...)
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(m.Root, strings.TrimSuffix(pat, "/..."))
+			ds, err := m.walkDirs(base)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, ds...)
+		default:
+			d := pat
+			if !filepath.IsAbs(d) {
+				d = filepath.Join(m.Root, d)
+			}
+			dirs = append(dirs, filepath.Clean(d))
+		}
+	}
+	var out []*Package
+	seen := map[string]bool{}
+	for _, dir := range dirs {
+		if seen[dir] {
+			continue
+		}
+		seen[dir] = true
+		pkg, err := m.LoadDir(dir)
+		if err != nil {
+			if _, none := err.(*build.NoGoError); none {
+				continue // directory without buildable Go files
+			}
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// walkDirs lists candidate package directories under base.
+func (m *Module) walkDirs(base string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		matches, _ := filepath.Glob(filepath.Join(path, "*.go"))
+		if len(matches) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// LoadDir loads and type-checks the package in dir (which may live outside
+// the module tree, e.g. a testdata fixture); its imports resolve through the
+// module loader. Type errors in dir or in any module package it pulls in are
+// returned as errors.
+func (m *Module) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	ip := m.dirImportPath(abs)
+	if pkg, ok := m.pkgs[ip]; ok {
+		return pkg, nil
+	}
+	return m.loadDir(abs, ip, true)
+}
+
+// dirImportPath synthesizes the import path for a directory: module-relative
+// when inside the module, the cleaned path otherwise (fixtures).
+func (m *Module) dirImportPath(abs string) string {
+	if rel, err := filepath.Rel(m.Root, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return m.Path
+		}
+		return m.Path + "/" + filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(abs)
+}
+
+// Import implements types.Importer, resolving module-internal paths against
+// the module root and everything else against GOROOT/src.
+func (m *Module) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := m.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	if m.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	var dir string
+	inModule := false
+	switch {
+	case path == m.Path:
+		dir, inModule = m.Root, true
+	case strings.HasPrefix(path, m.Path+"/"):
+		dir, inModule = filepath.Join(m.Root, strings.TrimPrefix(path, m.Path+"/")), true
+	default:
+		dir = filepath.Join(m.goroot, "src", filepath.FromSlash(path))
+		if _, err := os.Stat(dir); err != nil {
+			return nil, fmt.Errorf("analysis: cannot resolve import %q (not in module %s, not in GOROOT)", path, m.Path)
+		}
+	}
+	pkg, err := m.loadDir(dir, path, inModule)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+func (m *Module) loadDir(dir, importPath string, strict bool) (*Package, error) {
+	m.loading[importPath] = true
+	defer delete(m.loading, importPath)
+
+	bp, err := m.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if !strict {
+				continue
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, &build.NoGoError{Dir: dir}
+	}
+
+	var typeErrs []error
+	cfg := &types.Config{
+		Importer:    m,
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	var info *types.Info
+	if strict {
+		info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+	} else {
+		// Standard-library dependency: the API surface is all that matters.
+		cfg.IgnoreFuncBodies = true
+	}
+	tpkg, _ := cfg.Check(importPath, m.Fset, files, info)
+	if strict && len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type errors in %s: %v", importPath, typeErrs[0])
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		InModule:   strict,
+	}
+	m.pkgs[importPath] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SendOwn checks buffer-ownership transfers on the zero-copy wire path.
+// transport.SendBuf, transport.PutBuf and Runtime.xmit all take ownership of
+// their []byte argument: the callee either hands the buffer to the kernel
+// and returns it to the frame pool, or short-circuits it into a local
+// delivery queue that is drained concurrently. Touching the buffer after the
+// call — appending into it, re-sending it, even reading it — races with the
+// pool's next user and corrupts an unrelated frame. The race detector only
+// catches this when the reuse happens to interleave; charmvet catches it
+// structurally.
+//
+// The check is intra-block and name-based: after a statement that transfers
+// ownership of a plain identifier, any later statement in the same block
+// that mentions the identifier is reported, unless an assignment gives the
+// name a fresh buffer first (`buf = transport.GetBuf()` and friends).
+var SendOwn = &Analyzer{
+	Name: "sendown",
+	Doc: "a []byte passed to SendBuf/PutBuf/xmit is owned by the callee: " +
+		"reusing the variable afterwards races with the frame pool",
+	Run: runSendOwn,
+}
+
+func runSendOwn(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			checkBlock(pass, block)
+			return true
+		})
+	}
+}
+
+// checkBlock scans one statement list in order, tracking which buffer
+// variables have been given away. Nested blocks are visited by the outer
+// Inspect as their own scopes; here only direct children matter, so the
+// transfer set cannot leak into a sibling branch.
+func checkBlock(pass *Pass, block *ast.BlockStmt) {
+	transferred := map[types.Object]token.Pos{} // object -> transfer site
+	for _, stmt := range block.List {
+		// A use anywhere in this statement of an already-transferred buffer
+		// is a violation — including a second transfer of the same buffer.
+		// An assignment whose LHS is the plain variable gives it a fresh
+		// value instead: clear it first and only inspect the right side
+		// (and non-identifier LHS targets like buf[0], which do read buf).
+		if as, ok := stmt.(*ast.AssignStmt); ok {
+			for _, rhs := range as.Rhs {
+				reportUses(pass, rhs, transferred)
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						delete(transferred, obj)
+					}
+					if obj := pass.Info.Uses[id]; obj != nil {
+						delete(transferred, obj)
+					}
+				} else {
+					reportUses(pass, lhs, transferred)
+				}
+			}
+		} else {
+			reportUses(pass, stmt, transferred)
+		}
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncLit:
+				return false // a closure's execution order is unknown
+			case *ast.BlockStmt:
+				// A nested scope (if/for/switch body) is checked as its own
+				// block; a transfer inside it — typically followed by a
+				// return — must not poison this block's straight-line path.
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			argIdx, ok := ownershipArg(pass, call)
+			if !ok || argIdx >= len(call.Args) {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Args[argIdx]).(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					transferred[obj] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportUses reports every mention of a transferred buffer variable inside
+// stmt, then forgets it (one report per reuse site is enough).
+func reportUses(pass *Pass, node ast.Node, transferred map[types.Object]token.Pos) {
+	if len(transferred) == 0 {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, gone := transferred[obj]; gone {
+			pass.Reportf(id.Pos(),
+				"%s is used after its ownership was transferred (SendBuf/PutBuf/xmit hand the buffer to the frame pool); get a fresh buffer with transport.GetBuf() instead",
+				id.Name)
+			delete(transferred, obj)
+		}
+		return true
+	})
+}
+
+// ownershipArg reports whether call transfers ownership of one of its
+// arguments, and which one.
+func ownershipArg(pass *Pass, call *ast.CallExpr) (int, bool) {
+	obj := calleeObject(pass.Info, call)
+	if obj == nil {
+		return 0, false
+	}
+	switch {
+	case isFunc(obj, "charmgo/internal/transport", "PutBuf"):
+		return 0, true
+	case isMethodOf(obj, "charmgo/internal/core", "Runtime") && obj.Name() == "xmit":
+		return 1, true
+	case obj.Name() == "SendBuf":
+		// Any implementation or interface satisfying transport.BufSender:
+		// (node int, buf []byte).
+		sig, ok := obj.Type().(*types.Signature)
+		if ok && sig.Recv() != nil && sig.Params().Len() == 2 {
+			if sl, ok := sig.Params().At(1).Type().Underlying().(*types.Slice); ok {
+				if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
+					return 1, true
+				}
+			}
+		}
+	}
+	return 0, false
+}

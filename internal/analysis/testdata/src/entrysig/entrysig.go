@@ -1,0 +1,45 @@
+// Package entrysig is a charmvet fixture: every `want` comment marks a
+// diagnostic the entrysig analyzer must produce on that line.
+package entrysig
+
+import "charmgo/internal/core"
+
+type Worker struct {
+	core.Chare
+	Step int
+}
+
+type Request struct {
+	ID       int
+	Callback func(int)
+}
+
+func (w Worker) ValueRecv(x int) {} // want "value receiver"
+
+func (w *Worker) Variadic(xs ...int) {} // want "variadic"
+
+func (w *Worker) ChanParam(c chan int) {} // want "a channel"
+
+func (w *Worker) FuncInStruct(r Request) {} // want "a function value"
+
+func (w *Worker) TwoResults() (int, error) { return 0, nil } // want "returns 2 values"
+
+// Fine: serializable parameters, one result, pointer receiver.
+func (w *Worker) Step1(n int, name string, data []float64) int { return n }
+
+// Fine: maps and nested exported structs are serializable.
+func (w *Worker) Config(m map[string]int, r struct{ N int }) {}
+
+// Fine: runtime types are rebound on arrival, not serialized field-by-field.
+func (w *Worker) WithFuture(f core.Future) {}
+
+// Not an entry method: unexported.
+func (w *Worker) helper(c chan int) {}
+
+// Not an entry method: base hook name.
+func (w *Worker) Migrated() {}
+
+// Not a chare: plain struct, exported methods are ordinary Go.
+type Plain struct{ N int }
+
+func (p Plain) Anything(c chan int, fs ...func()) (int, error) { return 0, nil }

@@ -1,0 +1,54 @@
+// Package gobsafe is a charmvet fixture: every `want` comment marks a
+// diagnostic the gobsafe analyzer must produce on that line.
+package gobsafe
+
+import (
+	"charmgo/internal/core"
+	"charmgo/internal/ser"
+)
+
+type Cell struct {
+	core.Chare
+}
+
+// Payload carries an unexported field: gob drops it silently.
+type Payload struct {
+	Visible int
+	secret  int
+}
+
+// Wrapped reaches Payload through a slice.
+type Wrapped struct {
+	Items []Payload
+}
+
+func (c *Cell) Recv(p Payload) {} // want "unexported field \"secret\""
+
+func (c *Cell) RecvNested(w Wrapped) {} // want "unexported field \"secret\""
+
+// Sealed has unexported state but custom marshalling: trusted.
+type Sealed struct {
+	raw []byte
+}
+
+func (s Sealed) GobEncode() ([]byte, error)  { return s.raw, nil }
+func (s *Sealed) GobDecode(b []byte) error   { s.raw = append([]byte(nil), b...); return nil }
+func (c *Cell) RecvSealed(s Sealed)          {}
+func (c *Cell) RecvClean(n int, name string) {}
+
+// Event is never gob-registered anywhere in this package.
+type Event struct{ Kind int }
+
+// Registered is.
+type Registered struct{ Kind int }
+
+func init() {
+	ser.RegisterType(Registered{})
+}
+
+func kick(pr core.Proxy, fut core.Future) {
+	pr.Call("Recv", Event{Kind: 1}) // want "never gob-registered"
+	fut.Send(Event{Kind: 2})        // want "never gob-registered"
+	pr.Call("Recv", Registered{Kind: 1})
+	pr.Call("Recv", 42, "strings are fine")
+}

@@ -1,0 +1,61 @@
+// Package noblock is a charmvet fixture: every `want` comment marks a
+// diagnostic the noblock analyzer must produce on that line.
+package noblock
+
+import (
+	"sync"
+	"time"
+
+	"charmgo/internal/core"
+)
+
+type Busy struct {
+	core.Chare
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+
+func (b *Busy) Sleepy() {
+	time.Sleep(time.Second) // want "time.Sleep"
+}
+
+func (b *Busy) Chans(c chan int, out chan int) {
+	v := <-c // want "receives from a raw channel"
+	out <- v // want "sends on a raw channel"
+	for range c { // want "ranges over a channel"
+	}
+}
+
+func (b *Busy) Selecty(c chan int) {
+	select { // want "uses select"
+	case <-c:
+	}
+}
+
+func (b *Busy) Locks() {
+	b.mu.Lock() // want "acquires a sync lock"
+	defer b.mu.Unlock()
+}
+
+func (b *Busy) Waits() {
+	b.wg.Wait() // want "WaitGroup.Wait"
+}
+
+// Fine: the goroutine body does not hold the PE token.
+func (b *Busy) Spawns(c chan int) {
+	go func() {
+		for v := range c {
+			_ = v
+		}
+	}()
+}
+
+// Fine: runtime suspension primitives, not raw channel operations.
+func (b *Busy) Suspends(f core.Future) {
+	_ = f.Get()
+}
+
+// Not an entry method: unexported helpers are not dispatched.
+func (b *Busy) helper(c chan int) {
+	<-c
+}

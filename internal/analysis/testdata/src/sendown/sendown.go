@@ -1,0 +1,50 @@
+// Package sendown is a charmvet fixture: every `want` comment marks a
+// diagnostic the sendown analyzer must produce on that line.
+package sendown
+
+import "charmgo/internal/transport"
+
+func reuseAfterSend(s transport.BufSender) {
+	buf := transport.GetBuf()
+	buf = append(buf, 1, 2, 3)
+	s.SendBuf(1, buf)
+	buf = append(buf, 4) // want "after its ownership was transferred"
+}
+
+func doubleFree() {
+	b := transport.GetBuf()
+	transport.PutBuf(b)
+	transport.PutBuf(b) // want "after its ownership was transferred"
+}
+
+func readAfterPut() int {
+	b := transport.GetBuf()
+	b = append(b, 7)
+	transport.PutBuf(b)
+	return len(b) // want "after its ownership was transferred"
+}
+
+func writeAfterSend(s transport.BufSender) {
+	b := transport.GetBuf()
+	s.SendBuf(0, b)
+	b[0] = 9 // want "after its ownership was transferred"
+}
+
+// Fine: the variable is rebound to a fresh buffer between sends.
+func freshEachTime(s transport.BufSender) {
+	buf := transport.GetBuf()
+	s.SendBuf(0, buf)
+	buf = transport.GetBuf()
+	s.SendBuf(0, buf)
+}
+
+// Fine: a transfer inside a terminating error branch does not poison the
+// straight-line path (the idiom TCP.SendBuf itself uses).
+func errorBranch(s transport.BufSender, bad bool) error {
+	buf := transport.GetBuf()
+	if bad {
+		transport.PutBuf(buf)
+		return nil
+	}
+	return s.SendBuf(0, buf)
+}

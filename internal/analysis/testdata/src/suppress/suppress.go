@@ -1,0 +1,34 @@
+// Package suppress is a charmvet fixture for the //charmvet:ignore escape
+// hatch: three suppressed violations and one live one.
+package suppress
+
+import (
+	"time"
+
+	"charmgo/internal/core"
+)
+
+type Timer struct {
+	core.Chare
+}
+
+// SameLine suppresses on the violating line itself.
+func (t *Timer) SameLine() {
+	time.Sleep(time.Millisecond) //charmvet:ignore noblock
+}
+
+// LineAbove suppresses from the preceding line.
+func (t *Timer) LineAbove() {
+	//charmvet:ignore noblock
+	time.Sleep(time.Millisecond)
+}
+
+// Bare ignores every check on the line.
+func (t *Timer) Bare() {
+	time.Sleep(time.Millisecond) //charmvet:ignore
+}
+
+// Unsuppressed must still be reported (the ignore names another check).
+func (t *Timer) Unsuppressed() {
+	time.Sleep(time.Millisecond) //charmvet:ignore entrysig
+}

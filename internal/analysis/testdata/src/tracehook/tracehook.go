@@ -1,0 +1,83 @@
+// Package tracehook is a charmvet fixture: every `want` comment marks a
+// diagnostic the tracehook analyzer must produce on that line.
+package tracehook
+
+import (
+	"charmgo/internal/metrics"
+	"charmgo/internal/trace"
+)
+
+// rtMetrics mirrors core's optional instrument bundle: nil when metrics are
+// off (the analyzer keys on the bundle type's name).
+type rtMetrics struct {
+	sends *metrics.Counter
+	depth *metrics.Gauge
+}
+
+type runtime struct {
+	tr  *trace.Tracer
+	met *rtMetrics
+}
+
+func (rt *runtime) unguarded(pe int) {
+	rt.tr.QD(pe, 0)     // want "not behind a nil guard"
+	rt.met.sends.Inc()  // want "not behind a nil guard"
+	rt.met.depth.Set(1) // want "not behind a nil guard"
+}
+
+func (rt *runtime) guarded(pe int) {
+	if tr := rt.tr; tr != nil {
+		tr.QD(pe, 0)
+	}
+	if rt.tr != nil && pe >= 0 {
+		rt.tr.QD(pe, 0)
+	}
+	if met := rt.met; met != nil {
+		met.sends.Inc()
+	}
+}
+
+func (rt *runtime) earlyReturn(pe int) {
+	tr := rt.tr
+	if tr == nil || pe < 0 {
+		return
+	}
+	tr.QD(pe, 0)
+}
+
+func (rt *runtime) elseBranch(pe int) {
+	if rt.tr == nil {
+		_ = pe
+	} else {
+		rt.tr.QD(pe, 0)
+	}
+}
+
+func (rt *runtime) wrongGuard(pe int) {
+	if rt.met != nil {
+		rt.tr.QD(pe, 0) // want "not behind a nil guard"
+	}
+}
+
+// A guard outside a closure does not protect calls inside it: the closure
+// may run later, against different state.
+func (rt *runtime) closureEscape(pe int) func() {
+	if rt.tr != nil {
+		return func() {
+			rt.tr.QD(pe, 0) // want "not behind a nil guard"
+		}
+	}
+	return nil
+}
+
+// Constructor results are never nil.
+func fresh(pes int) {
+	tr := trace.New(pes)
+	tr.QD(0, 0)
+}
+
+// Instruments taken straight from a Registry are non-nil by construction.
+func direct(reg *metrics.Registry) {
+	c := reg.Counter("x", "")
+	c.Inc()
+}

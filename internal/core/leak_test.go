@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"charmgo/internal/leakcheck"
+	"charmgo/internal/metrics"
+)
+
+// TestRuntimeShutdownNoGoroutineLeak verifies that a single-node job reaps
+// every goroutine it started — PE schedulers, mailbox pumps, the works —
+// once Start returns.
+func TestRuntimeShutdownNoGoroutineLeak(t *testing.T) {
+	leakcheck.Check(t)
+	runJob(t, Config{PEs: 4}, func(rt *Runtime) {
+		rt.Register(&Hello{})
+	}, func(self *Chare) {
+		p := self.NewChare(&Hello{}, AnyPE)
+		p.Call("SayHi", "leakcheck")
+		if got := p.CallRet("Greetings").Get(); got != 1 {
+			t.Errorf("Greetings = %v, want 1", got)
+		}
+	})
+}
+
+// TestMultiNodeShutdownNoGoroutineLeak runs a two-node job over the
+// in-memory transport with metrics enabled: endpoint pump goroutines, the
+// TRAM aggregator's flush loop, and the metrics wiring must all be reaped
+// after the runtimes stop and the endpoints close.
+func TestMultiNodeShutdownNoGoroutineLeak(t *testing.T) {
+	leakcheck.Check(t)
+	runMultiNode(t, 2, 2, func(cfg *Config) {
+		cfg.Metrics = metrics.NewRegistry()
+	}, func(rt *Runtime) {
+		rt.Register(&NodeWorker{})
+	}, func(self *Chare) {
+		g := self.NewGroup(&NodeWorker{})
+		f := self.CreateFuture()
+		g.Call("SumPE", f)
+		f.Get()
+	})
+}

@@ -1,0 +1,90 @@
+// Package leakcheck is a test-time goroutine-leak guard. The runtime spawns
+// goroutines in several layers — PE schedulers and threaded entry methods in
+// core, accept/read pumps in transport, the debug HTTP server in metrics —
+// and every Stop/Close path must reap its own. A leaked goroutine is
+// invisible to the tier-1 tests (the process exits anyway) but fatal to the
+// paper's model in long-lived multi-job processes, so shutdown tests wrap
+// themselves in Check.
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of *testing.T the guard needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// Check snapshots the live goroutines and registers a cleanup that fails the
+// test if goroutines started during the test are still alive when it ends.
+// Only goroutines with a charmgo frame (or created by one) are counted:
+// stdlib and test-harness background goroutines come and go on their own
+// schedule and are not this repo's to reap.
+//
+// Call it first in the test so its cleanup runs after all deferred
+// shutdowns. Shutdown is asynchronous in places (conn readers unblock on
+// close), so the guard polls up to a deadline before declaring a leak.
+func Check(t TB) {
+	t.Helper()
+	before := goroutines()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			leaked := leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("leaked %d goroutine(s):\n\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// leakedSince returns the stacks of charmgo goroutines alive now whose ids
+// were not in the before snapshot.
+func leakedSince(before map[string]string) []string {
+	var leaked []string
+	for id, stack := range goroutines() {
+		if _, ok := before[id]; ok {
+			continue
+		}
+		if !strings.Contains(stack, "charmgo/") {
+			continue
+		}
+		leaked = append(leaked, stack)
+	}
+	return leaked
+}
+
+// goroutines returns every current goroutine stack keyed by goroutine id
+// (parsed from the "goroutine N [state]:" header; ids are never reused
+// within a process, making them stable snapshot keys).
+func goroutines() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := map[string]string{}
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		header, _, _ := strings.Cut(block, "\n")
+		fields := strings.Fields(header)
+		if len(fields) < 2 || fields[0] != "goroutine" {
+			continue
+		}
+		out[fields[1]] = block
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"testing"
+
+	"charmgo/internal/leakcheck"
+)
+
+// TestServerCloseNoGoroutineLeak verifies the debug HTTP endpoint reaps its
+// serving goroutine (and any request handlers) on Close.
+func TestServerCloseNoGoroutineLeak(t *testing.T) {
+	leakcheck.Check(t)
+	reg := NewRegistry()
+	reg.Counter("leak_test_total", "leak test counter").Inc()
+	srv, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 {
+		t.Error("empty /metrics response")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -1,0 +1,91 @@
+package ser
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// fuzzArgSeeds covers every direct-encoding tag plus hostile shapes: a
+// truncated gob payload and an oversized declared count.
+func fuzzArgSeeds() [][]byte {
+	var seeds [][]byte
+	for _, args := range [][]any{
+		{},
+		{nil, true, false},
+		{42, int64(-7), 3.14, "hello", []byte{1, 2, 3}},
+		{[]float64{1, 2.5}, []float32{0.5}, []int64{-1, 1 << 40}, []int32{7}, []int{3, 4}},
+	} {
+		b, err := AppendArgs(nil, args)
+		if err != nil {
+			panic(err)
+		}
+		seeds = append(seeds, b)
+	}
+	seeds = append(seeds,
+		[]byte{1, tagGob, 4, 1, 2, 3, 4}, // garbage gob body
+		[]byte{3, tagF64Slice, 0xff, 0xff, 0xff, 0x7f}, // hostile declared length
+	)
+	return seeds
+}
+
+// FuzzDecodeInvoke hardens the argument codec against hostile invoke
+// payloads: no input may panic, over-read, or allocate from a declared
+// length the data cannot back; any list that decodes must re-encode and
+// decode again to the same shape (entry-method dispatch depends on it).
+func FuzzDecodeInvoke(f *testing.F) {
+	for _, seed := range fuzzArgSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		args, used, err := DecodeArgs(data)
+		if err != nil {
+			return
+		}
+		if used > len(data) {
+			t.Fatalf("DecodeArgs consumed %d of %d bytes", used, len(data))
+		}
+		re, err := AppendArgs(nil, args)
+		if err != nil {
+			t.Fatalf("decoded args do not re-encode: %v", err)
+		}
+		args2, used2, err := DecodeArgs(re)
+		if err != nil {
+			t.Fatalf("re-encoded args do not decode: %v", err)
+		}
+		if used2 != len(re) || len(args2) != len(args) {
+			t.Fatalf("roundtrip shape mismatch: %d/%d args, %d/%d bytes",
+				len(args), len(args2), len(re), used2)
+		}
+	})
+}
+
+// TestGenerateArgsCorpus writes the seed payloads as committed corpus files.
+// Run with CHARMGO_GEN_CORPUS=1 after changing the codec; otherwise it
+// verifies the committed corpus is present.
+func TestGenerateArgsCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeInvoke")
+	seeds := fuzzArgSeeds()
+	if os.Getenv("CHARMGO_GEN_CORPUS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) < len(seeds) {
+		t.Fatalf("committed fuzz corpus missing in %s (regenerate with CHARMGO_GEN_CORPUS=1): %v", dir, err)
+	}
+}
