@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint charmvet race fuzz bench vet profile
+.PHONY: all build test check lint charmvet race fuzz bench vet profile chaos
 
 all: build
 
@@ -21,10 +21,17 @@ charmvet:
 
 lint: vet charmvet
 
-# check is the CI gate: build everything, lint (go vet + charmvet), then run
-# the full test suite under the race detector.
+# chaos runs the fault-tolerance suite (failure detection, buddy
+# checkpointing, kill-one-node recovery, chaos transport) under the race
+# detector. See DESIGN.md §3.4 and EXPERIMENTS.md.
+chaos:
+	$(GO) test -race -count=1 ./internal/ft/
+
+# check is the CI gate: build everything, lint (go vet + charmvet), run the
+# full test suite under the race detector, then the chaos/recovery suite.
 check: build lint
 	$(GO) test -race ./...
+	$(MAKE) chaos
 
 race:
 	$(GO) test -race ./...

@@ -42,8 +42,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"charmgo/internal/core"
+	"charmgo/internal/ft"
 	"charmgo/internal/metrics"
 	"charmgo/internal/trace"
 	"charmgo/internal/transport"
@@ -246,6 +248,161 @@ func RunFromEnv(cfg Config, reg func(*Runtime), entry func(self *Chare)) error {
 	return nil
 }
 
+// FTJob describes a fault-tolerant application to RunFT. Fresh is the
+// initial entry point; after an automatic recovery Restore resumes the job
+// with proxies to the restored collections and the last committed
+// checkpoint epoch. Both run on the (possibly new) node 0's main chare and
+// must call self.Exit() when the job is complete. Inside either, call
+// self.FTCheckpoint() at step boundaries to commit recovery points.
+type FTJob struct {
+	Register func(rt *Runtime)
+	Fresh    func(self *Chare)
+	Restore  func(self *Chare, colls map[CID]Proxy, epoch int64)
+}
+
+// RunFT is RunFromEnv with Charm++-style double in-memory checkpointing and
+// automatic failure recovery (see internal/ft and DESIGN.md §3.4): a
+// heartbeat failure detector rides on the TCP frame path, FTCheckpoint
+// snapshots every node's chares to a buddy node's memory, and when a node
+// dies the survivors rebuild a smaller mesh, restore the last committed
+// epoch from the buddy copies, and resume — without restarting the job.
+//
+// Beyond RunFromEnv's variables it reads:
+//
+//   - CHARMGO_FT_HEARTBEAT / CHARMGO_FT_SUSPICION: detector tuning
+//     (Go durations; defaults 50ms / 500ms).
+//   - CHARMGO_FT_DROP: fraction [0,1) of detector control frames dropped by
+//     the chaos layer (charmrun -drop-rate), for soak-testing detection.
+//   - CHARMGO_FT_SEED: chaos RNG seed (default 1).
+//
+// Each recovery round r rebuilds the TCP mesh on the surviving nodes'
+// addresses with ports shifted by r*numNodes, so a crashed-but-alive
+// process (or a SIGKILLed one in TIME_WAIT) can never collide with the
+// survivors. Without CHARMGO_ADDRS the job runs single-node: checkpoints
+// commit locally (self-buddy) and recovery is never needed.
+func RunFT(cfg Config, job FTJob) error {
+	addrs := os.Getenv("CHARMGO_ADDRS")
+	if addrs == "" {
+		cfg.FT = ft.NewManager()
+		finish, err := setupObservability(&cfg, 0, false)
+		if err != nil {
+			return err
+		}
+		rt := core.NewRuntime(cfg)
+		if job.Register != nil {
+			job.Register(rt)
+		}
+		rt.Start(job.Fresh)
+		if finish != nil {
+			finish(rt)
+		}
+		return nil
+	}
+	list := strings.Split(addrs, ",")
+	nodeID, err := strconv.Atoi(os.Getenv("CHARMGO_NODE"))
+	if err != nil || nodeID < 0 || nodeID >= len(list) {
+		return fmt.Errorf("charmgo: bad CHARMGO_NODE %q for %d nodes", os.Getenv("CHARMGO_NODE"), len(list))
+	}
+	pes := 1
+	if s := os.Getenv("CHARMGO_PES"); s != "" {
+		if pes, err = strconv.Atoi(s); err != nil || pes < 1 {
+			return fmt.Errorf("charmgo: bad CHARMGO_PES %q", s)
+		}
+	}
+	hb, err := ftEnvDuration("CHARMGO_FT_HEARTBEAT", 50*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	susp, err := ftEnvDuration("CHARMGO_FT_SUSPICION", 500*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	var drop float64
+	if s := os.Getenv("CHARMGO_FT_DROP"); s != "" {
+		if drop, err = strconv.ParseFloat(s, 64); err != nil || drop < 0 || drop >= 1 {
+			return fmt.Errorf("charmgo: bad CHARMGO_FT_DROP %q (want [0,1))", s)
+		}
+	}
+	seed := int64(1)
+	if s := os.Getenv("CHARMGO_FT_SEED"); s != "" {
+		if seed, err = strconv.ParseInt(s, 10, 64); err != nil {
+			return fmt.Errorf("charmgo: bad CHARMGO_FT_SEED %q", s)
+		}
+	}
+	rc := cfg
+	rc.PEs = pes
+	finish, err := setupObservability(&rc, nodeID, false) // no cross-node gather across incarnations
+	if err != nil {
+		return err
+	}
+	fc := ft.Config{
+		Node:  nodeID,
+		Nodes: len(list),
+		PEs:   pes,
+		Transport: func(round int, live []int, self int) (transport.Transport, error) {
+			mesh := make([]string, len(live))
+			selfIdx := -1
+			for k, orig := range live {
+				a, err := offsetPort(list[orig], round*len(list))
+				if err != nil {
+					return nil, fmt.Errorf("charmgo: bad node address %q: %v", list[orig], err)
+				}
+				mesh[k] = a
+				if orig == self {
+					selfIdx = k
+				}
+			}
+			return transport.NewTCP(selfIdx, mesh)
+		},
+		Register:  job.Register,
+		Fresh:     job.Fresh,
+		Restore:   job.Restore,
+		Heartbeat: hb,
+		Suspicion: susp,
+		Runtime:   rc,
+	}
+	if drop > 0 {
+		fc.Wrap = func(round int, t transport.Transport) transport.Transport {
+			c := ft.Wrap(t, seed+int64(round)*1000+int64(nodeID))
+			c.SetDropRate(drop)
+			return c
+		}
+	}
+	runErr := ft.NewJob(fc).Run()
+	if finish != nil {
+		finish(nil)
+	}
+	// Cross-incarnation trace gather is not supported, but the node-local
+	// timeline (heartbeat misses, node deaths, recovery spans included) is
+	// still worth keeping — also as a post-mortem when recovery failed.
+	if path := os.Getenv("CHARMGO_TRACE"); path != "" && rc.Trace != nil {
+		out := fmt.Sprintf("%s.node%d", path, nodeID)
+		if f, ferr := os.Create(out); ferr == nil {
+			werr := trace.WriteChrome(f, rc.Trace.Report(nodeID))
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr == nil {
+				fmt.Fprintf(os.Stderr, "charmgo: node %d timeline written to %s\n", nodeID, out)
+			}
+		}
+	}
+	return runErr
+}
+
+// ftEnvDuration parses an optional duration environment variable.
+func ftEnvDuration(name string, def time.Duration) (time.Duration, error) {
+	s := os.Getenv(name)
+	if s == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("charmgo: bad %s %q", name, s)
+	}
+	return d, nil
+}
+
 // setupObservability reads CHARMGO_TRACE / CHARMGO_TRACE_CAP /
 // CHARMGO_METRICS_ADDR and mutates cfg accordingly. The returned function
 // (nil when no observability is requested) must run after the job exits:
@@ -288,8 +445,8 @@ func setupObservability(cfg *Config, nodeID int, multiNode bool) (func(*Runtime)
 		if srv != nil {
 			srv.Close()
 		}
-		if tr == nil || nodeID != 0 {
-			return
+		if tr == nil || nodeID != 0 || rt == nil {
+			return // rt == nil: FT runs don't gather traces across incarnations
 		}
 		reps := rt.TraceReports()
 		f, err := os.Create(tracePath)

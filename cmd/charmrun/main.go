@@ -9,6 +9,15 @@
 //
 // (The bundled examples use charmgo.Run; see examples/disthello for one
 // that is charmrun-ready.)
+//
+// For fault-tolerant programs (charmgo.RunFT, see examples/faulttolerant),
+// charmrun doubles as a chaos harness:
+//
+//	charmrun -np 3 -kill-node 1@2s /tmp/ftapp   # SIGKILL node 1 after 2s
+//	charmrun -np 3 -drop-rate 0.2 /tmp/ftapp    # drop 20% of heartbeats
+//
+// A node killed by -kill-node is expected to die and does not count as a
+// job failure; the survivors must recover and finish on their own.
 package main
 
 import (
@@ -16,9 +25,29 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
+
+// parseKillSpec parses -kill-node's N@DUR form (e.g. "1@2s").
+func parseKillSpec(s string) (node int, after time.Duration, err error) {
+	at := strings.IndexByte(s, '@')
+	if at < 0 {
+		return 0, 0, fmt.Errorf("want N@DURATION, e.g. 1@2s")
+	}
+	node, err = strconv.Atoi(s[:at])
+	if err != nil || node < 0 {
+		return 0, 0, fmt.Errorf("bad node id %q", s[:at])
+	}
+	after, err = time.ParseDuration(s[at+1:])
+	if err != nil || after <= 0 {
+		return 0, 0, fmt.Errorf("bad duration %q", s[at+1:])
+	}
+	return node, after, nil
+}
 
 func main() {
 	np := flag.Int("np", 2, "number of processes (nodes)")
@@ -27,13 +56,34 @@ func main() {
 	traceOut := flag.String("trace", "", "enable tracing; node 0 writes a Chrome trace-event timeline to this file at exit")
 	traceCap := flag.Int("trace-cap", 0, "per-PE trace ring-buffer capacity in events (0 = default)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /trace and /debug/pprof per node at host:(port+node), e.g. 127.0.0.1:9100")
+	killNode := flag.String("kill-node", "", "SIGKILL node N after a duration, as N@DUR (e.g. 1@2s); requires a charmgo.RunFT program to survive")
+	dropRate := flag.Float64("drop-rate", 0, "fraction [0,1) of failure-detector frames dropped by the chaos layer (RunFT programs)")
+	ftSeed := flag.Int64("ft-seed", 1, "chaos RNG seed (RunFT programs)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: charmrun [-np N] [-pes K] <binary> [args...]")
+		fmt.Fprintln(os.Stderr, "usage: charmrun [-np N] [-pes K] [-kill-node N@DUR] [-drop-rate P] <binary> [args...]")
 		os.Exit(2)
 	}
 	bin := flag.Arg(0)
 	args := flag.Args()[1:]
+
+	victim, killAfter := -1, time.Duration(0)
+	if *killNode != "" {
+		var err error
+		victim, killAfter, err = parseKillSpec(*killNode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "charmrun: -kill-node %q: %v\n", *killNode, err)
+			os.Exit(2)
+		}
+		if victim >= *np {
+			fmt.Fprintf(os.Stderr, "charmrun: -kill-node %d but only %d nodes\n", victim, *np)
+			os.Exit(2)
+		}
+	}
+	if *dropRate < 0 || *dropRate >= 1 {
+		fmt.Fprintf(os.Stderr, "charmrun: -drop-rate %v out of range [0,1)\n", *dropRate)
+		os.Exit(2)
+	}
 
 	addrs := make([]string, *np)
 	for i := range addrs {
@@ -62,8 +112,35 @@ func main() {
 			if *metricsAddr != "" {
 				cmd.Env = append(cmd.Env, fmt.Sprintf("CHARMGO_METRICS_ADDR=%s", *metricsAddr))
 			}
+			if *dropRate > 0 {
+				cmd.Env = append(cmd.Env,
+					fmt.Sprintf("CHARMGO_FT_DROP=%v", *dropRate),
+					fmt.Sprintf("CHARMGO_FT_SEED=%d", *ftSeed))
+			}
 			cmd.Stdout = os.Stdout
 			cmd.Stderr = os.Stderr
+			if node == victim {
+				if err := cmd.Start(); err != nil {
+					fail <- fmt.Errorf("node %d: %w", node, err)
+					return
+				}
+				var killed atomic.Bool
+				go func() {
+					time.Sleep(killAfter)
+					killed.Store(true) // before Kill: Wait may return first
+					fmt.Fprintf(os.Stderr, "charmrun: killing node %d after %v\n", node, killAfter)
+					_ = cmd.Process.Kill()
+				}()
+				err := cmd.Wait()
+				if killed.Load() {
+					return // died by our hand: expected, not a job failure
+				}
+				if err != nil {
+					// Died early on its own — that IS a failure.
+					fail <- fmt.Errorf("node %d (kill target) exited before the kill: %w", node, err)
+				}
+				return
+			}
 			if err := cmd.Run(); err != nil {
 				fail <- fmt.Errorf("node %d: %w", node, err)
 			}

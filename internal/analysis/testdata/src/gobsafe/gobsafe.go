@@ -52,3 +52,45 @@ func kick(pr core.Proxy, fut core.Future) {
 	pr.Call("Recv", Registered{Kind: 1})
 	pr.Call("Recv", 42, "strings are fine")
 }
+
+// Fault-tolerance-style wire messages (internal/ft ships checkpoint blobs
+// and holdings between nodes): the same gob rules apply to them.
+
+// FTBlob mirrors a checkpoint-shipping control message: exported fields
+// only, gob-registered below.
+type FTBlob struct {
+	Epoch    int64
+	Origin   int
+	NumNodes int
+	Blob     []byte
+}
+
+// FTHolding mirrors a snapshot-inventory reply sent as a future value.
+type FTHolding struct {
+	Epoch  int64
+	Origin int
+	Own    bool
+}
+
+// FTBadBundle smuggles node-local state into a wire message.
+type FTBadBundle struct {
+	Epoch int64
+	store map[int][]byte
+}
+
+func (c *Cell) RecvFTBlob(b FTBlob, hs []FTHolding) {}
+func (c *Cell) RecvFTBad(b FTBadBundle)             {} // want "unexported field \"store\""
+
+func init() {
+	ser.RegisterType(FTBlob{})
+	ser.RegisterType(FTHolding{})
+}
+
+// FTUnregistered is a wire-clean shape that nobody registered.
+type FTUnregistered struct{ Epoch int64 }
+
+func kickFT(pr core.Proxy, fut core.Future) {
+	fut.Send(FTHolding{Epoch: 3, Origin: 1, Own: true})
+	pr.Call("RecvFTBlob", FTBlob{Epoch: 3}, []FTHolding{})
+	fut.Send(FTUnregistered{Epoch: 3}) // want "never gob-registered"
+}

@@ -48,8 +48,10 @@ type ckptBundle struct {
 	PE     PE
 }
 
-// ckptCollect runs on each PE's scheduler: serialize everything local.
-func (p *peState) ckptCollect(cm *ckptCollectMsg) {
+// collectBundle serializes every chare element hosted on this PE into a
+// ckptBundle. Shared by the disk checkpoint path (ckptCollect) and the
+// in-memory buddy snapshot path (mFTCollect in ft.go).
+func (p *peState) collectBundle() ckptBundle {
 	b := ckptBundle{CIDSeq: p.cidSeq, PE: p.pe}
 	for cid, coll := range p.colls {
 		if cid == mainCID {
@@ -70,7 +72,12 @@ func (p *peState) ckptCollect(cm *ckptCollectMsg) {
 			b.Elems = append(b.Elems, ckptElem{CID: cid, Idx: el.idx, Blob: blob, RedNo: el.redNo})
 		}
 	}
-	p.rt.sendFutureSet(cm.Fut, b)
+	return b
+}
+
+// ckptCollect runs on each PE's scheduler: serialize everything local.
+func (p *peState) ckptCollect(cm *ckptCollectMsg) {
+	p.rt.sendFutureSet(cm.Fut, p.collectBundle())
 }
 
 // Checkpoint writes the job's full chare state to path. It must be called

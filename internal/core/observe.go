@@ -40,6 +40,9 @@ type rtMetrics struct {
 
 	peRecvs []*metrics.Counter // per local PE: messages dequeued
 	peEMs   []*metrics.Counter // per local PE: entry methods executed
+
+	ftSnapshots     *metrics.Counter // in-memory checkpoint snapshots taken
+	ftSnapshotBytes *metrics.Counter // bytes of snapshot blobs produced
 }
 
 // newRTMetrics registers the runtime's instruments in reg. Must run after
@@ -62,6 +65,10 @@ func newRTMetrics(rt *Runtime, reg *metrics.Registry) *rtMetrics {
 			"entry methods dispatched via method table / FastDispatcher"),
 		dispatchDynamic: reg.Counter("charmgo_dispatch_dynamic_total",
 			"entry methods dispatched via reflective name lookup"),
+		ftSnapshots: reg.Counter("charmgo_ft_snapshots_total",
+			"in-memory checkpoint snapshots taken by this node"),
+		ftSnapshotBytes: reg.Counter("charmgo_ft_snapshot_bytes_total",
+			"bytes of in-memory checkpoint blobs produced by this node"),
 	}
 	m.peRecvs = make([]*metrics.Counter, len(rt.pes))
 	m.peEMs = make([]*metrics.Counter, len(rt.pes))

@@ -36,6 +36,8 @@ type peState struct {
 
 	lbRoot map[CID]*lbRootState
 
+	ftG map[int64]*ftGatherState // in-flight ft checkpoint gathers (node-first PE)
+
 	exiting bool
 }
 
@@ -196,6 +198,22 @@ func (p *peState) handle(m *Message) {
 		p.qdOnReply(m.Ctl.(*qdReplyMsg))
 	case mCkptCollect:
 		p.ckptCollect(m.Ctl.(*ckptCollectMsg))
+	case mFTCollect:
+		fm := m.Ctl.(*ftCollectMsg)
+		p.rt.send(p.rt.basePE, &Message{Kind: mFTBundle, Src: p.pe,
+			Ctl: &ftBundleMsg{Epoch: fm.Epoch, Fut: fm.Fut, Bundle: p.collectBundle()}})
+	case mFTBundle:
+		p.ftBundle(m.Ctl.(*ftBundleMsg))
+	case mFTBlob:
+		p.ftBlob(m.Ctl.(*ftBlobMsg))
+	case mFTRestore:
+		p.ftRestore(m.Ctl.(*ftRestoreMsg))
+	case mFTInject:
+		p.ftInject(m.Ctl.(*ftInjectMsg))
+	case mFTSeq:
+		if sm := m.Ctl.(*ftSeqMsg); sm.Seq > p.cidSeq {
+			p.cidSeq = sm.Seq
+		}
 	case mPing:
 		p.rt.sendFutureSet(m.Fut, nil)
 	case mChanMsg:

@@ -1,0 +1,168 @@
+package core
+
+// Shrink-expand coverage for checkpoint/restart: a checkpoint taken on N
+// PEs restored onto M<N and M>N runtimes must (a) re-place every element
+// exactly where the restoring job's placement rules put it, and (b)
+// produce results identical to a fault-free run that never checkpointed.
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// SEWorker accumulates deterministic per-element state.
+type SEWorker struct {
+	Chare
+	Sum int
+}
+
+func (w *SEWorker) Work(round int) { w.Sum += round*7 + w.ThisIndex[0] }
+
+func (w *SEWorker) Where(done Future) { done.Send(int(w.MyPE())) }
+
+func (w *SEWorker) Total(done Future) { w.Contribute(w.Sum, SumReducer, done) }
+
+const (
+	seElems  = 9
+	seRounds = 5
+)
+
+// seExpected is what a fault-free run computes: every element i adds
+// round*7+i for rounds 1..seRounds (the driver below), summed over elements.
+func seExpected() int {
+	total := 0
+	for i := 0; i < seElems; i++ {
+		for r := 1; r <= seRounds; r++ {
+			total += r*7 + i
+		}
+	}
+	return total
+}
+
+// seCheckpoint runs the first half of the job on n PEs and checkpoints.
+func seCheckpoint(t *testing.T, n, rounds int, path string) CID {
+	t.Helper()
+	var cid CID
+	runJob(t, Config{PEs: n}, func(rt *Runtime) {
+		rt.Register(&SEWorker{})
+	}, func(self *Chare) {
+		arr := self.NewArray(&SEWorker{}, []int{seElems})
+		cid = arr.CID
+		for r := 1; r <= rounds; r++ {
+			arr.Call("Work", r)
+		}
+		self.WaitQD()
+		if err := self.Checkpoint(path); err != nil {
+			t.Errorf("checkpoint: %v", err)
+		}
+	})
+	return cid
+}
+
+// seRestore restores the checkpoint onto m PEs, finishes the remaining
+// rounds, and asserts placement and final results.
+func seRestore(t *testing.T, m int, path string, cid CID, fromRound int) {
+	t.Helper()
+	rt2 := NewRuntime(Config{PEs: m})
+	rt2.Register(&SEWorker{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		err := Restart(rt2, path, func(self *Chare, colls map[CID]Proxy) {
+			defer self.Exit()
+			arr, ok := colls[cid]
+			if !ok {
+				t.Errorf("restored collections missing array %d: %v", cid, colls)
+				return
+			}
+			// Placement: every element must sit exactly where the restoring
+			// job's placement rules put it.
+			meta := rt2.collMeta(cid)
+			if meta == nil {
+				t.Errorf("no collection metadata for %d after restore", cid)
+				return
+			}
+			for i := 0; i < seElems; i++ {
+				f := self.CreateFuture()
+				arr.At(i).Call("Where", f)
+				got := f.Get().(int)
+				want := int(rt2.initialPE(meta, []int{i}))
+				if got != want {
+					t.Errorf("element %d restored on PE %d, want PE %d (of %d)", i, got, want, m)
+				}
+			}
+			// Finish the job and compare with the fault-free result.
+			for r := fromRound; r <= seRounds; r++ {
+				arr.Call("Work", r)
+			}
+			self.WaitQD()
+			f := self.CreateFuture()
+			arr.Call("Total", f)
+			if got := f.Get(); got != seExpected() {
+				t.Errorf("restored-on-%d-PEs total = %v, want fault-free %d", m, got, seExpected())
+			}
+		})
+		if err != nil {
+			t.Errorf("restart: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("restore on %d PEs did not complete", m)
+	}
+}
+
+func TestRestartShrinkPlacement(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shrink.ckpt")
+	cid := seCheckpoint(t, 4, 3, path) // rounds 1..3 on 4 PEs
+	seRestore(t, 2, path, cid, 4)      // rounds 4..5 on 2 PEs
+}
+
+func TestRestartExpandPlacement(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "expand.ckpt")
+	cid := seCheckpoint(t, 2, 3, path) // rounds 1..3 on 2 PEs
+	seRestore(t, 6, path, cid, 4)      // rounds 4..5 on 6 PEs
+}
+
+// TestRestartShrinkPinnedSingle restores a single chare pinned (OnPE) to a
+// PE beyond the shrunken job's range; placement must wrap, not panic.
+func TestRestartShrinkPinnedSingle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pinned.ckpt")
+	var cid CID
+	runJob(t, Config{PEs: 4}, func(rt *Runtime) {
+		rt.Register(&SEWorker{})
+	}, func(self *Chare) {
+		px := self.NewChare(&SEWorker{}, 3) // pinned to PE 3
+		cid = px.CID
+		px.Call("Work", 1)
+		self.WaitQD()
+		if err := self.Checkpoint(path); err != nil {
+			t.Errorf("checkpoint: %v", err)
+		}
+	})
+
+	rt2 := NewRuntime(Config{PEs: 2})
+	rt2.Register(&SEWorker{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		err := Restart(rt2, path, func(self *Chare, colls map[CID]Proxy) {
+			defer self.Exit()
+			f := self.CreateFuture()
+			colls[cid].Call("Where", f)
+			if got := f.Get().(int); got != 3%2 {
+				t.Errorf("pinned single restored on PE %d, want %d", got, 3%2)
+			}
+		})
+		if err != nil {
+			t.Errorf("restart: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("pinned-single restore did not complete")
+	}
+}

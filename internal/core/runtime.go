@@ -82,6 +82,13 @@ type Config struct {
 	// batches — the latency bound for aggregated messages when every PE is
 	// busy. 0 selects the default (100us).
 	FlushInterval time.Duration
+	// FT, when non-nil, enables in-memory double checkpointing (see ft.go
+	// and internal/ft): Chare.FTCheckpoint ships each node's snapshot to its
+	// buddy through this store, and RestartFromMemory restores a failed
+	// job's chares from the surviving copies. With FT set, transport send
+	// errors are dropped instead of panicking — a peer going silent is a
+	// failure for the detector to handle, not a bug in this node.
+	FT FTStore
 }
 
 // Runtime is one node of a charmgo job: it hosts PEs, the chare-type
@@ -117,14 +124,18 @@ type Runtime struct {
 	wg      sync.WaitGroup
 	done    chan struct{}
 
+	// fault tolerance (ft.go)
+	ftEpoch   atomic.Int64 // last committed in-memory checkpoint epoch
+	cleanExit atomic.Bool  // job ended through Exit, not Abort
+
 	qd qdState
 
 	wt  *wireTables // method-name interning, built at Start
 	agg *aggregator // cross-node send aggregation; nil when disabled
 
-	met        *rtMetrics         // nil unless Config.Metrics is set
-	traceRepCh chan trace.Report  // node 0 gather channel (TraceGather)
-	gathered   []trace.Report     // node 0: all node reports after Start
+	met        *rtMetrics        // nil unless Config.Metrics is set
+	traceRepCh chan trace.Report // node 0 gather channel (TraceGather)
+	gathered   []trace.Report    // node 0: all node reports after Start
 
 	// test/diagnostic counters (atomics; the send path is hot)
 	nMsgsLocal atomic.Int64
@@ -230,6 +241,7 @@ func (rt *Runtime) Start(entry func(self *Chare)) {
 // entry method on any node.
 func (rt *Runtime) Exit() {
 	rt.exitFn.Do(func() {
+		rt.cleanExit.Store(true)
 		rt.exited.Store(true)
 		if rt.cfg.Transport != nil {
 			if rt.agg != nil {
@@ -340,6 +352,12 @@ func (rt *Runtime) xmit(node int, buf []byte) {
 		transport.PutBuf(buf)
 	}
 	if err != nil && !rt.exited.Load() {
+		if rt.cfg.FT != nil {
+			// A send to a dying peer: drop the frame. The failure detector
+			// (internal/ft) owns the failure; panicking here would take the
+			// survivor down with the dead node.
+			return
+		}
 		panic(fmt.Sprintf("core: transport send to node %d: %v", node, err))
 	}
 }
@@ -465,6 +483,7 @@ func (rt *Runtime) ingress(from int, frame []byte) (*Message, PE, bool) {
 	}
 	rt.rebindMsg(m)
 	if m.Kind == mExit {
+		rt.cleanExit.Store(true) // a peer's Exit reached us: orderly shutdown
 		rt.localExit()
 		return m, 0, false
 	}
@@ -553,11 +572,13 @@ func (rt *Runtime) initialPE(cm *createMsg, idx []int) PE {
 	switch cm.Kind {
 	case ckSingle:
 		if cm.OnPE >= 0 {
-			return cm.OnPE
+			// A restored checkpoint may pin a chare to a PE beyond a shrunk
+			// job's range; wrap instead of sending into the void.
+			return PE(int(cm.OnPE) % rt.totalPEs)
 		}
 		return PE(uint32(cm.CID) % uint32(rt.totalPEs))
 	case ckGroup:
-		return PE(idx[0])
+		return PE(idx[0] % rt.totalPEs)
 	case ckArray:
 		if cm.MapName != "" {
 			rt.mu.Lock()

@@ -73,6 +73,14 @@ const (
 	mPing
 	mChanMsg
 	mTraceReport // node trace report gathered to node 0 at exit
+
+	// fault tolerance (in-memory double checkpointing; ft.go)
+	mFTCollect // start a checkpoint epoch: every PE serializes its chares
+	mFTBundle  // one PE's bundle to the node-first PE
+	mFTBlob    // a node's snapshot blob shipped to its buddy
+	mFTRestore // recovery coordinator asks a node what snapshots it holds
+	mFTInject  // recovery coordinator orders a holder to re-inject origins
+	mFTSeq     // post-recovery collection-id sequence floor broadcast
 )
 
 // idxKey converts an element index to a compact map key. The scratch buffer

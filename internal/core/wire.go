@@ -19,6 +19,8 @@ func init() {
 		&lbStatsMsg{}, &lbMovesMsg{}, &lbResumeMsg{},
 		&qdStartMsg{}, &qdProbeMsg{}, &qdReplyMsg{}, &ckptCollectMsg{},
 		ckptBundle{}, &chanMsg{}, &traceReportMsg{},
+		&ftCollectMsg{}, &ftBundleMsg{}, &ftBlobMsg{}, &ftRestoreMsg{},
+		&ftInjectMsg{}, &ftSeqMsg{}, ftHoldingsMsg{}, ftInjectAck{},
 	} {
 		ser.RegisterType(v)
 	}

@@ -1,0 +1,201 @@
+package ft
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"charmgo/internal/leakcheck"
+	"charmgo/internal/transport"
+)
+
+// appFrame builds a minimal application frame (unicast dest word + body).
+func appFrame(dest int, body byte) []byte {
+	f := make([]byte, 5)
+	binary.LittleEndian.PutUint32(f, uint32(int32(dest)))
+	f[4] = body
+	return f
+}
+
+// TestDetectorDetectsSilentPeer arms detectors on two of three nodes; the
+// third never heartbeats and must be declared dead on both — and the two
+// live nodes must not suspect each other.
+func TestDetectorDetectsSilentPeer(t *testing.T) {
+	leakcheck.Check(t)
+	nw := transport.NewMemNetwork(3)
+	deaths := make(chan [2]int, 16) // (observer, dead peer)
+	var dets []*Detector
+	for _, n := range []int{0, 1} {
+		n := n
+		d := NewDetector(nw.Endpoint(n), DetectorOptions{
+			Interval: 10 * time.Millisecond,
+			Timeout:  120 * time.Millisecond,
+			OnDeath:  func(peer int) { deaths <- [2]int{n, peer} },
+		})
+		d.SetHandler(func(from int, frame []byte) {})
+		dets = append(dets, d)
+	}
+	// Node 2 receives but never speaks (its detector is never armed).
+	silent := nw.Endpoint(2)
+	silent.SetHandler(func(from int, frame []byte) {})
+
+	seen := map[int]bool{}
+	deadline := time.After(5 * time.Second)
+	for len(seen) < 2 {
+		select {
+		case dp := <-deaths:
+			if dp[1] != 2 {
+				t.Fatalf("node %d declared live peer %d dead", dp[0], dp[1])
+			}
+			seen[dp[0]] = true
+		case <-deadline:
+			t.Fatalf("silent peer not declared dead everywhere: %v", seen)
+		}
+	}
+	for _, d := range dets {
+		if err := d.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}
+	_ = silent.Close()
+	select {
+	case dp := <-deaths:
+		t.Errorf("unexpected extra death report %v (OnDeath must fire once per peer)", dp)
+	default:
+	}
+}
+
+// TestDetectorGossip checks one node's verdict propagates: node 1's timeout
+// is effectively infinite, so the only way it can learn about the death is
+// the death notice gossiped by node 0.
+func TestDetectorGossip(t *testing.T) {
+	leakcheck.Check(t)
+	nw := transport.NewMemNetwork(3)
+	got := make(chan int, 4)
+	d0 := NewDetector(nw.Endpoint(0), DetectorOptions{
+		Interval: 5 * time.Millisecond,
+		Timeout:  time.Hour,
+		OnDeath:  func(peer int) {},
+	})
+	d0.SetHandler(func(from int, frame []byte) {})
+	d1 := NewDetector(nw.Endpoint(1), DetectorOptions{
+		Interval: 5 * time.Millisecond,
+		Timeout:  time.Hour,
+		OnDeath:  func(peer int) { got <- peer },
+	})
+	d1.SetHandler(func(from int, frame []byte) {})
+	e2 := nw.Endpoint(2)
+	e2.SetHandler(func(from int, frame []byte) {})
+
+	d0.declareDead(2)
+	select {
+	case p := <-got:
+		if p != 2 {
+			t.Fatalf("gossip reported peer %d dead, want 2", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("death notice never reached node 1")
+	}
+	_ = d0.Close()
+	_ = d1.Close()
+	_ = e2.Close()
+}
+
+// TestDetectorFiltersControlFrames: application frames pass through to the
+// runtime handler, detector control frames never do.
+func TestDetectorFiltersControlFrames(t *testing.T) {
+	leakcheck.Check(t)
+	nw := transport.NewMemNetwork(2)
+	var mu sync.Mutex
+	var bodies []byte
+	d := NewDetector(nw.Endpoint(0), DetectorOptions{
+		Interval: time.Hour, // no heartbeats of its own
+	})
+	d.SetHandler(func(from int, frame []byte) {
+		mu.Lock()
+		bodies = append(bodies, frame[4])
+		mu.Unlock()
+	})
+	peer := nw.Endpoint(1)
+	peer.SetHandler(func(from int, frame []byte) {})
+
+	var hb [4]byte
+	putDest(hb[:], hbDest)
+	if err := peer.Send(0, hb[:]); err != nil {
+		t.Fatalf("send heartbeat: %v", err)
+	}
+	if err := peer.Send(0, appFrame(0, 7)); err != nil {
+		t.Fatalf("send app frame: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(bodies)
+		mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies) != 1 || bodies[0] != 7 {
+		t.Fatalf("handler saw %v, want just the app frame body [7]", bodies)
+	}
+	_ = d.Close()
+	_ = peer.Close()
+}
+
+// TestDetectorDropsSendsToDeadPeer: once a peer is declared dead, Send and
+// SendBuf to it are swallowed (nil error, buffer recycled) so the aborting
+// runtime above cannot trip over the corpse.
+func TestDetectorDropsSendsToDeadPeer(t *testing.T) {
+	leakcheck.Check(t)
+	nw := transport.NewMemNetwork(2)
+	d := NewDetector(nw.Endpoint(0), DetectorOptions{Interval: time.Hour})
+	d.SetHandler(func(from int, frame []byte) {})
+	var mu sync.Mutex
+	delivered := 0
+	peer := nw.Endpoint(1)
+	peer.SetHandler(func(from int, frame []byte) {
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+
+	d.declareDead(1)
+	if err := d.Send(1, appFrame(1, 1)); err != nil {
+		t.Fatalf("send to dead peer: %v", err)
+	}
+	buf := append(transport.GetBuf(), 2)
+	if err := d.SendBuf(1, buf); err != nil {
+		t.Fatalf("sendbuf to dead peer: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	n := delivered
+	mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d frames delivered to a dead peer, want 0", n)
+	}
+	_ = d.Close()
+	_ = peer.Close()
+}
+
+// TestDetectorFramePathAllocs guards satellite (c)'s zero-alloc promise:
+// with tracing and metrics off, forwarding an application frame through the
+// detector allocates nothing.
+func TestDetectorFramePathAllocs(t *testing.T) {
+	nw := transport.NewMemNetwork(2)
+	d := NewDetector(nw.Endpoint(0), DetectorOptions{Interval: time.Hour})
+	d.SetHandler(func(from int, frame []byte) {})
+	defer func() {
+		_ = d.Close()
+		_ = nw.Endpoint(1).Close()
+	}()
+	frame := appFrame(0, 9)
+	if n := testing.AllocsPerRun(1000, func() { d.onFrame(1, frame) }); n != 0 {
+		t.Fatalf("detector frame path allocates %.1f per frame with instrumentation off, want 0", n)
+	}
+}

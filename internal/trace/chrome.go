@@ -107,6 +107,16 @@ func WriteChrome(w io.Writer, reports ...Report) error {
 				}
 				ce.Name = fmt.Sprintf("%s%d", dir, e.Dest)
 				ce.Args = map[string]any{"bytes": e.Bytes}
+			case EvHeartbeatMiss:
+				ce.Ph, ce.Cat, ce.S = "i", "ft", "g"
+				ce.Name = fmt.Sprintf("hb-miss node%d", e.Dest)
+			case EvNodeDeath:
+				ce.Ph, ce.Cat, ce.S = "i", "ft", "g"
+				ce.Name = fmt.Sprintf("node-death node%d", e.Dest)
+			case EvRecovery:
+				ce.Ph, ce.Cat = "X", "ft"
+				ce.Name = fmt.Sprintf("recovery epoch %d", e.N)
+				ce.Dur = float64(e.Dur) * usPerNs
 			default:
 				ce.Ph, ce.Cat, ce.S = "i", e.Kind.String(), "t"
 				ce.Name = e.Kind.String()

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFTEventKindNames(t *testing.T) {
+	want := map[Kind]string{
+		EvHeartbeatMiss: "hb-miss",
+		EvNodeDeath:     "node-death",
+		EvRecovery:      "recovery",
+	}
+	for k, name := range want {
+		if got := k.String(); got != name {
+			t.Errorf("kind %d String() = %q, want %q", k, got, name)
+		}
+	}
+}
+
+// TestFTEventRecordZeroAlloc extends the instrumentation-off guarantee to
+// the fault-tolerance events: recording them must not allocate.
+func TestFTEventRecordZeroAlloc(t *testing.T) {
+	tr := New(1)
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.HeartbeatMiss(2, time.Millisecond)
+		tr.NodeDeath(2, 2*time.Millisecond)
+		tr.Recovery(3, 3*time.Millisecond, time.Millisecond)
+	}); n != 0 {
+		t.Errorf("ft event recording allocates %v/op, want 0", n)
+	}
+}
+
+func TestFTEventsInChromeExport(t *testing.T) {
+	tr := New(1)
+	tr.SetTopology(1, 0)
+	tr.HeartbeatMiss(2, time.Millisecond)
+	tr.NodeDeath(2, 2*time.Millisecond)
+	tr.Recovery(5, 3*time.Millisecond, 4*time.Millisecond)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Report(0)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hb-miss node2", "node-death node2", "recovery epoch 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome export missing %q", want)
+		}
+	}
+	// The recovery event is a span with its duration preserved.
+	if !strings.Contains(out, `"ph":"X","name":"recovery epoch 5"`) &&
+		!strings.Contains(out, `"name":"recovery epoch 5"`) {
+		t.Error("recovery not exported as a span")
+	}
+}

@@ -58,6 +58,15 @@ const (
 	EvFrameOut
 	// EvFrameIn is one inbound transport frame (Dest = source node).
 	EvFrameIn
+	// EvHeartbeatMiss is one missed-heartbeat suspicion tick raised by the
+	// failure detector (Dest = suspected peer node).
+	EvHeartbeatMiss
+	// EvNodeDeath is the failure detector declaring a peer node dead
+	// (Dest = dead node).
+	EvNodeDeath
+	// EvRecovery is one completed fault-tolerance recovery (N = restored
+	// checkpoint epoch, Dur = detection-to-restore latency when known).
+	EvRecovery
 
 	numKinds
 )
@@ -65,6 +74,7 @@ const (
 var kindNames = [numKinds]string{
 	"em", "send", "recv", "idle", "reduction", "future", "qd",
 	"migrate-out", "migrate-in", "lb", "flush", "frame-out", "frame-in",
+	"hb-miss", "node-death", "recovery",
 }
 
 // String returns a short stable name for the kind.
@@ -248,6 +258,24 @@ func (t *Tracer) Frame(out bool, node int, at time.Duration, bytes int) {
 		k = EvFrameOut
 	}
 	t.record(-1, Event{PE: -1, Kind: k, At: at, Dest: node, Bytes: bytes})
+}
+
+// HeartbeatMiss records a missed-heartbeat suspicion for a peer node raised
+// by the failure detector (node-level, like Frame).
+func (t *Tracer) HeartbeatMiss(node int, at time.Duration) {
+	t.record(-1, Event{PE: -1, Kind: EvHeartbeatMiss, At: at, Dest: node})
+}
+
+// NodeDeath records the failure detector declaring a peer node dead.
+func (t *Tracer) NodeDeath(node int, at time.Duration) {
+	t.record(-1, Event{PE: -1, Kind: EvNodeDeath, At: at, Dest: node})
+}
+
+// Recovery records one completed fault-tolerance recovery: the checkpoint
+// epoch that was restored and the detection-to-restore latency (0 when the
+// recorder cannot know it, e.g. the runtime-internal restore path).
+func (t *Tracer) Recovery(epoch int, at, dur time.Duration) {
+	t.record(-1, Event{PE: -1, Kind: EvRecovery, At: at, Dur: dur, N: epoch})
 }
 
 // Comm accounts bytes on the wire from global PE src to global PE dst in the

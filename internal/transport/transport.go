@@ -34,6 +34,12 @@ import (
 	"time"
 )
 
+// ErrTransportClosed is returned by Send/SendBuf after the local endpoint
+// has been Closed. Callers use errors.Is to distinguish "we shut down"
+// (expected during teardown) from "peer unreachable" (a candidate node
+// failure the fault-tolerance layer must act on).
+var ErrTransportClosed = errors.New("transport: closed")
+
 // Handler receives an inbound frame from another node.
 type Handler func(from int, frame []byte)
 
@@ -184,6 +190,12 @@ func (e *MemEndpoint) SendBuf(node int, buf []byte) error {
 }
 
 func (e *MemEndpoint) enqueue(node int, f memFrame) error {
+	e.mu.Lock()
+	closed := e.done
+	e.mu.Unlock()
+	if closed {
+		return ErrTransportClosed
+	}
 	if node < 0 || node >= e.n {
 		return fmt.Errorf("transport: bad node id %d (of %d)", node, e.n)
 	}
@@ -191,7 +203,7 @@ func (e *MemEndpoint) enqueue(node int, f memFrame) error {
 	dst.mu.Lock()
 	if dst.done {
 		dst.mu.Unlock()
-		return errors.New("transport: endpoint closed")
+		return fmt.Errorf("transport: peer node %d closed", node)
 	}
 	dst.q = append(dst.q, f)
 	dst.mu.Unlock()
@@ -457,7 +469,7 @@ func (t *TCP) conn(node int) (net.Conn, *sync.Mutex, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.done {
-		return nil, nil, errors.New("transport: closed")
+		return nil, nil, ErrTransportClosed
 	}
 	c, ok := t.conns[node]
 	if !ok {
