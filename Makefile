@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint charmvet race fuzz bench vet profile chaos
+.PHONY: all build test check lint charmvet race fuzz bench collectives vet profile chaos
 
 all: build
 
@@ -45,6 +45,13 @@ fuzz:
 bench:
 	$(GO) test -run xxx -bench BenchmarkRemoteInvokeRate -benchtime 2s .
 	$(GO) test -run xxx -bench 'BenchmarkEncodeMsgInvoke|BenchmarkDecodeMsgInvoke|BenchmarkMailbox' ./internal/core/
+	$(GO) test -run xxx -bench BenchmarkBroadcastReduce -benchtime 20x .
+	$(GO) run ./cmd/collectivebench
+
+# collectives regenerates only BENCH_collectives.json (spanning-tree vs flat
+# broadcast+reduce; see EXPERIMENTS.md §collectives for the protocol).
+collectives:
+	$(GO) run ./cmd/collectivebench
 
 # profile runs a traced 2-process stencil3d job under charmrun and validates
 # that the exported timeline is well-formed Chrome trace-event JSON.

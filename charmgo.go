@@ -225,6 +225,9 @@ func RunFromEnv(cfg Config, reg func(*Runtime), entry func(self *Chare)) error {
 	if cfg.PEs < 1 {
 		cfg.PEs = 1 // match NewRuntime's default so the tracer is sized right
 	}
+	if err := applyTreeArityEnv(&cfg); err != nil {
+		return err
+	}
 	finish, err := setupObservability(&cfg, nodeID, len(list) > 1)
 	if err != nil {
 		return err
@@ -281,6 +284,9 @@ type FTJob struct {
 // survivors. Without CHARMGO_ADDRS the job runs single-node: checkpoints
 // commit locally (self-buddy) and recovery is never needed.
 func RunFT(cfg Config, job FTJob) error {
+	if err := applyTreeArityEnv(&cfg); err != nil {
+		return err
+	}
 	addrs := os.Getenv("CHARMGO_ADDRS")
 	if addrs == "" {
 		cfg.FT = ft.NewManager()
@@ -388,6 +394,23 @@ func RunFT(cfg Config, job FTJob) error {
 		}
 	}
 	return runErr
+}
+
+// applyTreeArityEnv reads CHARMGO_TREE_ARITY (charmrun's -tree-arity flag)
+// into Config.TreeArity: the fan-out of the k-ary spanning tree used for
+// inter-node collectives. Negative disables the tree (flat collectives);
+// unset or 0 keeps the default.
+func applyTreeArityEnv(cfg *Config) error {
+	s := os.Getenv("CHARMGO_TREE_ARITY")
+	if s == "" {
+		return nil
+	}
+	k, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("charmgo: bad CHARMGO_TREE_ARITY %q", s)
+	}
+	cfg.TreeArity = k
+	return nil
 }
 
 // ftEnvDuration parses an optional duration environment variable.

@@ -56,6 +56,7 @@ func main() {
 	traceOut := flag.String("trace", "", "enable tracing; node 0 writes a Chrome trace-event timeline to this file at exit")
 	traceCap := flag.Int("trace-cap", 0, "per-PE trace ring-buffer capacity in events (0 = default)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /trace and /debug/pprof per node at host:(port+node), e.g. 127.0.0.1:9100")
+	treeArity := flag.Int("tree-arity", 0, "fan-out k of the spanning tree used for inter-node collectives (0 = default 4, negative = flat collectives)")
 	killNode := flag.String("kill-node", "", "SIGKILL node N after a duration, as N@DUR (e.g. 1@2s); requires a charmgo.RunFT program to survive")
 	dropRate := flag.Float64("drop-rate", 0, "fraction [0,1) of failure-detector frames dropped by the chaos layer (RunFT programs)")
 	ftSeed := flag.Int64("ft-seed", 1, "chaos RNG seed (RunFT programs)")
@@ -111,6 +112,9 @@ func main() {
 			}
 			if *metricsAddr != "" {
 				cmd.Env = append(cmd.Env, fmt.Sprintf("CHARMGO_METRICS_ADDR=%s", *metricsAddr))
+			}
+			if *treeArity != 0 {
+				cmd.Env = append(cmd.Env, fmt.Sprintf("CHARMGO_TREE_ARITY=%d", *treeArity))
 			}
 			if *dropRate > 0 {
 				cmd.Env = append(cmd.Env,

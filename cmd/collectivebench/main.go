@@ -1,0 +1,165 @@
+// Collectivebench measures the spanning-tree collectives against the flat
+// O(N) scheme (DESIGN.md §reductions, EXPERIMENTS.md §collectives): one
+// broadcast+reduction roundtrip across np in-memory nodes, at small, medium
+// and large (fragmented) payload sizes, in both tree and flat mode. It
+// writes the machine-readable results to BENCH_collectives.json so the
+// committed numbers can be regenerated with `make bench`.
+//
+//	go run ./cmd/collectivebench                 # table + BENCH_collectives.json
+//	go run ./cmd/collectivebench -np 8 -o out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"charmgo"
+	"charmgo/internal/core"
+	"charmgo/internal/transport"
+)
+
+// collWorker receives the job-wide broadcast and contributes the payload
+// length back up the reduction tree. It implements FastDispatcher
+// (alphabetical method ids: Bcast=0) so dispatch cost stays out of the
+// measurement.
+type collWorker struct {
+	charmgo.Chare
+}
+
+func (w *collWorker) Bcast(payload []byte, done charmgo.Future) {
+	w.Contribute(len(payload), charmgo.SumReducer, done)
+}
+
+func (w *collWorker) DispatchEM(id int, args []any) {
+	switch id {
+	case 0:
+		w.Bcast(args[0].([]byte), args[1].(charmgo.Future))
+	default:
+		panic(fmt.Sprintf("collWorker: unknown method id %d", id))
+	}
+}
+
+// result is one (size, mode) measurement.
+type result struct {
+	SizeBytes     int     `json:"size_bytes"`
+	Mode          string  `json:"mode"` // "tree" or "flat"
+	Nodes         int     `json:"nodes"`
+	TreeArity     int     `json:"tree_arity"` // 0 for flat mode
+	Iters         int     `json:"iters"`
+	UsPerOp       float64 `json:"us_per_op"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	MBPerSec      float64 `json:"mb_per_sec"`
+	RootSendsPerB float64 `json:"root_sends_per_bcast"`
+}
+
+// report is the BENCH_collectives.json document.
+type report struct {
+	Benchmark string   `json:"benchmark"`
+	GoVersion string   `json:"go_version"`
+	NumCPU    int      `json:"num_cpu"`
+	Results   []result `json:"results"`
+}
+
+// runOne measures iters broadcast+reduce roundtrips across np in-memory
+// nodes (1 PE each) with the given tree arity (negative = flat collectives)
+// and payload size.
+func runOne(np, size, arity, iters int) result {
+	nw := transport.NewMemNetwork(np)
+	rts := make([]*core.Runtime, np)
+	for i := range rts {
+		rts[i] = core.NewRuntime(core.Config{PEs: 1, Transport: nw.Endpoint(i), TreeArity: arity})
+		rts[i].Register(&collWorker{})
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < np; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rts[i].Start(nil)
+		}(i)
+	}
+	payload := make([]byte, size)
+	res := result{SizeBytes: size, Nodes: np, Iters: iters}
+	if arity >= 0 {
+		res.Mode = "tree"
+		res.TreeArity = arity
+		if arity == 0 {
+			res.TreeArity = 4 // Config.TreeArity 0 selects the default
+		}
+	} else {
+		res.Mode = "flat"
+	}
+	rts[0].Start(func(self *charmgo.Chare) {
+		defer self.Exit()
+		g := self.NewGroup(&collWorker{})
+		w := self.CreateFuture()
+		g.Call("Bcast", payload, w) // warm up (collection create, pools)
+		w.Get()
+		before := rts[0].BcastSends()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f := self.CreateFuture()
+			g.Call("Bcast", payload, f)
+			if got := f.Get(); got != size*np {
+				panic(fmt.Sprintf("broadcast+reduce = %v, want %d", got, size*np))
+			}
+		}
+		elapsed := time.Since(start)
+		res.UsPerOp = float64(elapsed.Microseconds()) / float64(iters)
+		res.OpsPerSec = float64(iters) / elapsed.Seconds()
+		res.MBPerSec = float64(size) * float64(iters) / elapsed.Seconds() / (1 << 20)
+		res.RootSendsPerB = float64(rts[0].BcastSends()-before) / float64(iters)
+	})
+	wg.Wait()
+	for i := 0; i < np; i++ {
+		nw.Endpoint(i).Close()
+	}
+	return res
+}
+
+func main() {
+	np := flag.Int("np", 8, "number of in-memory nodes")
+	out := flag.String("o", "BENCH_collectives.json", "output file ('' = stdout table only)")
+	iters := flag.Int("iters", 0, "iterations per configuration (0 = size-dependent default)")
+	flag.Parse()
+
+	rep := report{
+		Benchmark: "broadcast+reduce roundtrip, in-memory transport",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	fmt.Printf("%-10s %-5s %8s %12s %12s %10s %14s\n",
+		"size", "mode", "iters", "us/op", "ops/s", "MB/s", "rootsends/op")
+	for _, size := range []int{64, 64 << 10, 4 << 20} {
+		n := *iters
+		if n == 0 {
+			n = 200
+			if size >= 1<<20 {
+				n = 30
+			}
+		}
+		for _, arity := range []int{0, -1} {
+			r := runOne(*np, size, arity, n)
+			rep.Results = append(rep.Results, r)
+			fmt.Printf("%-10d %-5s %8d %12.1f %12.1f %10.2f %14.2f\n",
+				r.SizeBytes, r.Mode, r.Iters, r.UsPerOp, r.OpsPerSec, r.MBPerSec, r.RootSendsPerB)
+		}
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "collectivebench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "collectivebench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}

@@ -94,3 +94,44 @@ func kickFT(pr core.Proxy, fut core.Future) {
 	pr.Call("RecvFTBlob", FTBlob{Epoch: 3}, []FTHolding{})
 	fut.Send(FTUnregistered{Epoch: 3}) // want "never gob-registered"
 }
+
+// Spanning-tree-collective-style wire messages (internal/core relays
+// broadcast payloads and reduction partials over the k-ary node tree): the
+// gob rules apply to anything a broadcast or a reduction carries.
+
+// TreeBcastPayload mirrors a broadcast argument fanned out over the
+// spanning tree: exported fields only, gob-registered below.
+type TreeBcastPayload struct {
+	Root    int
+	Seq     uint64
+	Payload []byte
+}
+
+// TreePartial mirrors a reduction partial combined at interior tree nodes.
+type TreePartial struct {
+	Contribs int
+	Value    float64
+}
+
+// TreeBadPartial hides combiner state the receiving node could never see.
+type TreeBadPartial struct {
+	Contribs int
+	pending  []float64
+}
+
+func (c *Cell) RecvTreeBcast(p TreeBcastPayload, ps []TreePartial) {}
+func (c *Cell) RecvTreeBad(p TreeBadPartial)                       {} // want "unexported field \"pending\""
+
+func init() {
+	ser.RegisterType(TreeBcastPayload{})
+	ser.RegisterType(TreePartial{})
+}
+
+// TreeUnregistered is wire-clean but never registered with gob.
+type TreeUnregistered struct{ Root int }
+
+func kickTree(pr core.Proxy, fut core.Future) {
+	fut.Send(TreePartial{Contribs: 2, Value: 1.5})
+	pr.Call("RecvTreeBcast", TreeBcastPayload{Root: 0, Seq: 1}, []TreePartial{})
+	fut.Send(TreeUnregistered{Root: 1}) // want "never gob-registered"
+}

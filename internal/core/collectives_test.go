@@ -1,0 +1,293 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"charmgo/internal/transport"
+)
+
+// collWorker is a group chare exercised by the spanning-tree collective
+// tests: it counts broadcast ticks and contributes them back up.
+type collWorker struct {
+	Chare
+	ticks int
+}
+
+func (w *collWorker) Tick() { w.ticks++ }
+
+func (w *collWorker) Sum(done Future) { w.Contribute(w.ticks, SumReducer, done) }
+
+func (w *collWorker) GatherPE(done Future) {
+	w.Contribute(int(w.MyPE())*3+1, GatherReducer, done)
+}
+
+func (w *collWorker) Blast(payload []byte, done Future) {
+	sum := 0
+	for _, b := range payload {
+		sum += int(b)
+	}
+	w.Contribute(sum, SumReducer, done)
+}
+
+// broadcastJobSends runs the same broadcast+reduction workload at 8 nodes
+// with the given tree arity and returns the job-wide count of
+// per-destination sends used to originate broadcasts.
+func broadcastJobSends(t *testing.T, arity, ticks int) int64 {
+	t.Helper()
+	rts := runMultiNode(t, 8, 1, func(cfg *Config) { cfg.TreeArity = arity },
+		func(rt *Runtime) { rt.Register(&collWorker{}) },
+		func(self *Chare) {
+			g := self.NewGroup(&collWorker{})
+			for i := 0; i < ticks; i++ {
+				g.Call("Tick")
+			}
+			f := self.CreateFuture()
+			g.Call("Sum", f)
+			if got := f.Get(); got != ticks*8 {
+				t.Errorf("arity %d: tick sum = %v, want %d", arity, got, ticks*8)
+			}
+		})
+	var total int64
+	for _, rt := range rts {
+		total += rt.BcastSends()
+	}
+	return total
+}
+
+// TestBroadcastTreeWireSends is the perf contract of the tentpole: at 8
+// nodes, originating one broadcast costs the root numNodes-1 = 7 wire sends
+// in flat mode and at most TreeArity = 4 over the spanning tree. The same
+// deterministic workload runs both ways, so the per-broadcast ratio is
+// exact.
+func TestBroadcastTreeWireSends(t *testing.T) {
+	const ticks = 10
+	flat := broadcastJobSends(t, -1, ticks)
+	tree := broadcastJobSends(t, 0, ticks) // 0 = default arity (4)
+	if flat%7 != 0 {
+		t.Fatalf("flat sends = %d, not a multiple of numNodes-1", flat)
+	}
+	ops := flat / 7 // broadcasts issued by the workload (creates, ticks, sum, ...)
+	if ops < ticks {
+		t.Fatalf("workload issued %d broadcasts, expected at least %d", ops, ticks)
+	}
+	if tree > ops*int64(defaultTreeArity) {
+		t.Errorf("tree sends = %d for %d broadcasts, want <= %d (arity %d)",
+			tree, ops, ops*int64(defaultTreeArity), defaultTreeArity)
+	}
+	if tree >= flat {
+		t.Errorf("tree sends = %d not below flat sends = %d", tree, flat)
+	}
+}
+
+// newLocalRuntime builds a runtime with live PEs but no scheduler
+// goroutines, for driving delivery paths directly.
+func newLocalRuntime(pes int) *Runtime {
+	rt := NewRuntime(Config{PEs: pes})
+	rt.wt = buildWireTables(rt.types)
+	rt.pes = make([]*peState, pes)
+	for i := 0; i < pes; i++ {
+		rt.pes[i] = newPEState(rt, PE(i))
+	}
+	return rt
+}
+
+// drainShared pops one message from each PE mailbox and performs the
+// scheduler's shared-reference decrement, returning the popped messages.
+func drainShared(t *testing.T, rt *Runtime) []*Message {
+	t.Helper()
+	out := make([]*Message, 0, len(rt.pes))
+	for i, p := range rt.pes {
+		m, ok := p.mbox.tryPop()
+		if !ok {
+			t.Fatalf("PE %d: no message delivered", i)
+		}
+		if sh := m.shared; sh != nil && sh.refs.Add(-1) == 0 && sh.release != nil {
+			sh.release()
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestBroadcastLocalZeroCopy checks the zero-copy local fan-out: a node
+// broadcast is decoded (or built) once and every local PE receives the very
+// same *Message — same argument backing, no per-PE copies — with the
+// release hook firing exactly once, after the last PE finishes.
+func TestBroadcastLocalZeroCopy(t *testing.T) {
+	rt := newLocalRuntime(4)
+	payload := make([]float64, 1024)
+	m := &Message{Kind: mInvoke, CID: 7, MID: -1, Method: "Tick", Src: -1, Args: []any{payload}}
+	released := 0
+	rt.deliverAllLocalShared(m, func() { released++ })
+	if got := m.shared.refs.Load(); got != 4 {
+		t.Fatalf("refs = %d after delivery, want 4", got)
+	}
+	for i, got := range drainShared(t, rt) {
+		if got != m {
+			t.Errorf("PE %d received a copy, want the shared *Message", i)
+		}
+	}
+	if released != 1 {
+		t.Errorf("release ran %d times, want exactly once after the last PE", released)
+	}
+
+	// The mutable shapes (element-addressed invokes bump hop counts in
+	// place) must keep per-PE copies.
+	el := &Message{Kind: mInvoke, CID: 7, Idx: []int{1}, MID: -1, Method: "Tick", Src: -1}
+	released = 0
+	rt.deliverAllLocalShared(el, func() { released++ })
+	if released != 1 {
+		t.Fatalf("copy path: release ran %d times, want once (synchronously)", released)
+	}
+	seen := map[*Message]bool{}
+	for i, p := range rt.pes {
+		got, ok := p.mbox.tryPop()
+		if !ok {
+			t.Fatalf("PE %d: no copy delivered", i)
+		}
+		if got == el || seen[got] {
+			t.Errorf("PE %d: element-addressed broadcast not copied per PE", i)
+		}
+		if got.shared != nil {
+			t.Errorf("PE %d: per-PE copy carries a shared record", i)
+		}
+		seen[got] = true
+	}
+}
+
+// TestBroadcastDeliverAllocs guards the fan-out cost: delivering a node
+// broadcast to every local PE allocates only the one shared fan-out record,
+// independent of PE count and payload size — not one copy per PE.
+func TestBroadcastDeliverAllocs(t *testing.T) {
+	rt := newLocalRuntime(8)
+	payload := make([]byte, 1<<20)
+	m := &Message{Kind: mInvoke, CID: 7, MID: -1, Method: "Tick", Src: -1, Args: []any{payload}}
+	// Warm the mailbox rings so steady-state delivery doesn't grow them.
+	for r := 0; r < 2; r++ {
+		rt.deliverAllLocalShared(m, nil)
+		drainShared(t, rt)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		rt.deliverAllLocalShared(m, nil)
+		for _, p := range rt.pes {
+			got, _ := p.mbox.tryPop()
+			if sh := got.shared; sh != nil {
+				sh.refs.Add(-1)
+			}
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("broadcast local delivery allocates %.1f times for 8 PEs, want <= 1 (shared record only)", allocs)
+	}
+}
+
+// discardTransport swallows frames; it stands in for 8 peers so the tree
+// send path can run without a network.
+type discardTransport struct{ n int }
+
+func (d *discardTransport) NodeID() int                  { return 0 }
+func (d *discardTransport) NumNodes() int                { return d.n }
+func (d *discardTransport) Send(int, []byte) error       { return nil }
+func (d *discardTransport) SetHandler(transport.Handler) {}
+func (d *discardTransport) Close() error                 { return nil }
+
+// TestTreeSendAllocsMetricsOff guards the instrumentation cost: with
+// metrics and tracing off, originating a tree broadcast (encode, sent
+// vector, per-child frames) runs allocation-free — the
+// charmgo_collective_* counter sites cost one nil check.
+func TestTreeSendAllocsMetricsOff(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops items at random; pooled send buffers are not allocation-free there")
+	}
+	rt := NewRuntime(Config{PEs: 1, Transport: &discardTransport{n: 8}})
+	rt.wt = buildWireTables(rt.types)
+	m := &Message{Kind: mInvoke, CID: 3, MID: -1, Method: "Tick", Src: 0, Args: []any{int(1)}}
+	rt.bcastTree(m) // warm the buffer pool
+	allocs := testing.AllocsPerRun(200, func() { rt.bcastTree(m) })
+	if allocs > 0 {
+		t.Errorf("bcastTree allocates %.1f times per broadcast with instrumentation off, want 0", allocs)
+	}
+}
+
+// gatherBytes runs a job-wide gather over 4 PEs split across the given node
+// count (ForceSerialize on, so every message takes the wire path) and
+// returns the gob encoding of the result.
+func gatherBytes(t *testing.T, nodes int) []byte {
+	t.Helper()
+	var out []byte
+	entry := func(self *Chare) {
+		g := self.NewGroup(&collWorker{})
+		f := self.CreateFuture()
+		g.Call("GatherPE", f)
+		v := f.Get()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(v.([]any)); err != nil {
+			t.Errorf("gather result %v did not gob-encode: %v", v, err)
+			return
+		}
+		out = buf.Bytes()
+	}
+	reg := func(rt *Runtime) { rt.Register(&collWorker{}) }
+	if nodes == 1 {
+		runJob(t, Config{PEs: 4, ForceSerialize: true}, reg, entry)
+	} else {
+		runMultiNode(t, nodes, 4/nodes, func(cfg *Config) { cfg.ForceSerialize = true }, reg, entry)
+	}
+	return out
+}
+
+// TestGatherDeterministicAcrossNodeCounts: a gather reduction must produce
+// the same element-index-ordered result regardless of how the job is split
+// into nodes — the tree combiners concatenate keyed partials and the root
+// sorts, so -np 1 and -np 4 agree byte-for-byte.
+func TestGatherDeterministicAcrossNodeCounts(t *testing.T) {
+	one := gatherBytes(t, 1)
+	four := gatherBytes(t, 4)
+	if len(one) == 0 || len(four) == 0 {
+		t.Fatal("gather produced no encoding")
+	}
+	if !bytes.Equal(one, four) {
+		t.Errorf("gather result differs across node counts:\n  np1: %x\n  np4: %x", one, four)
+	}
+	two := gatherBytes(t, 2)
+	if !bytes.Equal(one, two) {
+		t.Errorf("gather result differs at np2:\n  np1: %x\n  np2: %x", one, two)
+	}
+}
+
+// TestBroadcastFragmentation pushes a payload past fragThreshold so the
+// broadcast travels as pipelined fragments, and checks it arrives intact on
+// every PE of every node (the reduction total counts each byte once per
+// PE).
+func TestBroadcastFragmentation(t *testing.T) {
+	const nodes, pes = 3, 2
+	payload := make([]byte, fragThreshold*2+12345)
+	sum := 0
+	for i := range payload {
+		payload[i] = byte(i * 31)
+		sum += int(payload[i])
+	}
+	rts := runMultiNode(t, nodes, pes, nil,
+		func(rt *Runtime) { rt.Register(&collWorker{}) },
+		func(self *Chare) {
+			g := self.NewGroup(&collWorker{})
+			f := self.CreateFuture()
+			g.Call("Blast", payload, f)
+			if got := f.Get(); got != sum*nodes*pes {
+				t.Errorf("fragmented broadcast sum = %v, want %d", got, sum*nodes*pes)
+			}
+		})
+	if rts[0].bcastSeq.Load() == 0 {
+		t.Error("large broadcast did not take the fragment path")
+	}
+	for i, rt := range rts {
+		rt.fragMu.Lock()
+		n := len(rt.frags)
+		rt.fragMu.Unlock()
+		if n != 0 {
+			t.Errorf("node %d: %d fragment assemblies leaked", i, n)
+		}
+	}
+}

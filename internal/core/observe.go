@@ -43,6 +43,11 @@ type rtMetrics struct {
 
 	ftSnapshots     *metrics.Counter // in-memory checkpoint snapshots taken
 	ftSnapshotBytes *metrics.Counter // bytes of snapshot blobs produced
+
+	collBcasts   *metrics.Counter // tree broadcasts originated by this node
+	collRelays   *metrics.Counter // tree-broadcast frames relayed to children
+	collFrags    *metrics.Counter // broadcast fragments sent or relayed
+	collPartials *metrics.Counter // reduction partials merged by tree combiners
 }
 
 // newRTMetrics registers the runtime's instruments in reg. Must run after
@@ -69,6 +74,14 @@ func newRTMetrics(rt *Runtime, reg *metrics.Registry) *rtMetrics {
 			"in-memory checkpoint snapshots taken by this node"),
 		ftSnapshotBytes: reg.Counter("charmgo_ft_snapshot_bytes_total",
 			"bytes of in-memory checkpoint blobs produced by this node"),
+		collBcasts: reg.Counter("charmgo_collective_bcasts_total",
+			"spanning-tree broadcasts originated by this node"),
+		collRelays: reg.Counter("charmgo_collective_relays_total",
+			"tree-broadcast frames relayed to child nodes"),
+		collFrags: reg.Counter("charmgo_collective_frags_total",
+			"broadcast fragments sent or relayed down the tree"),
+		collPartials: reg.Counter("charmgo_collective_partials_total",
+			"reduction partials merged by this node's tree combiners"),
 	}
 	m.peRecvs = make([]*metrics.Counter, len(rt.pes))
 	m.peEMs = make([]*metrics.Counter, len(rt.pes))
@@ -107,6 +120,7 @@ func (rt *Runtime) gatherTraces() {
 	}
 	if rt.nodeID != 0 {
 		m := &Message{Kind: mTraceReport, Src: -1, Ctl: &traceReportMsg{Report: tr.Report(rt.nodeID)}}
+		rt.ordSentTo(0)
 		rt.xmit(0, appendMsg(transport.GetBuf(), -1, m, rt.wt))
 		return
 	}

@@ -49,9 +49,17 @@ type localColl struct {
 	total       int // global element count; -1 for sparse pre-DoneInserting
 	localRed    map[int64]*localRedSlot
 	rootRed     map[int64]*rootRedSlot
-	pendingElem map[string][]*Message // sparse: messages before insertion
-	insCount    int                   // local insert count (sparse)
+	nodeRed     map[int64]*rootRedSlot // tree combiner accumulation (reduction.go)
+	pendingElem map[string][]*Message  // sparse: messages before insertion
+	insCount    int                    // local insert count (sparse)
 	lbStatsSent bool
+
+	// treeExpect caches the number of contributions this node's reduction
+	// combiner must merge before forwarding up the tree: the elements
+	// initially placed on any node of this node's subtree (static under
+	// migration — contributions route by initial placement).
+	treeExpect   int
+	treeExpectOK bool
 }
 
 // element is one chare instance hosted on this PE.
@@ -148,6 +156,13 @@ func (p *peState) loop() {
 		}
 		p.rt.qdCountRecv(m.Kind)
 		p.handle(m)
+		// Zero-copy broadcast fan-out: the same *Message was queued to every
+		// local PE; the last one to finish handling it releases the shared
+		// payload (e.g. the pooled reassembly buffer of a fragmented
+		// broadcast).
+		if sh := m.shared; sh != nil && sh.refs.Add(-1) == 0 && sh.release != nil {
+			sh.release()
+		}
 	}
 	// Terminate suspended threads cleanly (their resume channels are closed;
 	// they call runtime.Goexit).
@@ -175,7 +190,13 @@ func (p *peState) handle(m *Message) {
 		fs := m.Ctl.(*futSetMsg)
 		p.futureSet(fs.Ref, fs.Val)
 	case mRedPartial:
-		p.redRootRecv(m)
+		// The reduction root accumulates job-level results; every other PE
+		// that receives partials is its node's tree combiner (reduction.go).
+		if p.pe == rootPE(p.rt, m.CID) {
+			p.redRootRecv(m)
+		} else {
+			p.redCombinerRecv(m)
+		}
 	case mMigrate:
 		p.migrateIn(m.Ctl.(*migrateMsg))
 	case mLocUpdate:
@@ -258,6 +279,7 @@ func (p *peState) createColl(cm *createMsg) {
 		elems:       map[string]*element{},
 		localRed:    map[int64]*localRedSlot{},
 		rootRed:     map[int64]*rootRedSlot{},
+		nodeRed:     map[int64]*rootRedSlot{},
 		pendingElem: map[string][]*Message{},
 	}
 	switch cm.Kind {

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. Allocation
+// guards skip under it: the race runtime randomly drops sync.Pool items, so
+// pooled-buffer paths are not allocation-free by design there.
+const raceEnabled = true

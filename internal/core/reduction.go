@@ -7,15 +7,24 @@ import (
 
 // Reductions (paper sections II-F and IV-D): each element contributes once
 // per reduction; contributions are combined locally on each PE, per-PE
-// partials are combined at a deterministic root PE, and the root delivers
-// the result to the target (an entry method or a future). Reductions are
-// asynchronous and sequence-numbered, so multiple reductions over the same
-// collection can be in flight.
+// partials climb the k-ary spanning tree of nodes (tree.go), and the root
+// delivers the result to the target (an entry method or a future).
+// Reductions are asynchronous and sequence-numbered, so multiple reductions
+// over the same collection can be in flight.
 //
-// Charm++ uses topology-aware spanning trees; at the PE counts this runtime
-// executes directly we use a two-level combine (local PE stage, then root
-// stage), which has the same per-PE message count. The simulated-cluster
-// harness models log-depth trees for large-scale projections (DESIGN.md).
+// Like Charm++'s spanning-tree reductions, the combine is hierarchical:
+// each PE folds its elements' contributions into one partial, each node's
+// combiner PE merges the partials of its own PEs with the already-merged
+// partials of its child subtrees, and forwards exactly one partial to its
+// parent's combiner — so no node (the root included) merges more than
+// O(PEs + TreeArity) partials per reduction. Contributions are routed by
+// each element's *initial* placement node, which every node can compute
+// from the collection metadata alone: the per-subtree expected counts stay
+// static under migration (a migrated element's host sends its share back to
+// the combiner of the element's initial node). Sparse collections keep the
+// flat direct-to-root path — membership isn't known until DoneInserting, so
+// subtree counts cannot be precomputed. TreeArity < 0 restores the flat
+// two-level combine everywhere.
 
 type localRedSlot struct {
 	count      int
@@ -25,6 +34,15 @@ type localRedSlot struct {
 	partial    any
 	hasPartial bool
 	list       []redElt
+
+	// Tree routing (treeEnabled only): contributions of elements whose
+	// initial placement was another node accumulate in per-initial-node
+	// sub-slots and are flushed to that node's combiner, keeping subtree
+	// expected counts static under migration. foreignN is their total
+	// (count - foreignN contributions belong to this node's own subtree
+	// slot). Nil/0 in the common no-migration case.
+	foreign  map[int]*localRedSlot
+	foreignN int
 }
 
 type rootRedSlot struct {
@@ -75,17 +93,37 @@ func (p *peState) contribute(el *element, data any, reducer Reducer, target Targ
 		slot.hasTarget = true
 	}
 	slot.count++
+	// Tree reductions route every contribution to the combiner of the
+	// element's initial placement node (static, derivable on any node), so
+	// migrated-in elements accumulate in a per-initial-node sub-slot instead
+	// of this node's own partial.
+	acc := slot
+	if p.rt.treeEnabled() && coll.cm.Kind != ckSparse {
+		if home := p.rt.nodeOf(p.rt.initialPE(coll.cm, el.idx)); home != p.rt.nodeID {
+			if slot.foreign == nil {
+				slot.foreign = map[int]*localRedSlot{}
+			}
+			f := slot.foreign[home]
+			if f == nil {
+				f = &localRedSlot{}
+				slot.foreign[home] = f
+			}
+			f.count++
+			slot.foreignN++
+			acc = f
+		}
+	}
 	switch {
 	case reducer.Name == "":
 		// empty reduction: count only
 	case isListReducer(p.rt, reducer.Name):
-		slot.list = append(slot.list, redElt{Key: el.key, Data: data})
+		acc.list = append(acc.list, redElt{Key: el.key, Data: data})
 	default:
-		if !slot.hasPartial {
-			slot.partial = data
-			slot.hasPartial = true
+		if !acc.hasPartial {
+			acc.partial = data
+			acc.hasPartial = true
 		} else {
-			slot.partial = combineBuiltin(reducer.Name, slot.partial, data)
+			acc.partial = combineBuiltin(reducer.Name, acc.partial, data)
 		}
 	}
 	// Dense collections and groups combine locally and send one partial per
@@ -104,28 +142,70 @@ func sameTarget(a, b Target) bool {
 }
 
 func (p *peState) flushLocalRed(coll *localColl, seq int64, slot *localRedSlot) {
-	// Apply custom reducers to the local batch before sending the partial.
+	cid := collCID(coll)
+	// This node's own share goes to its combiner (the root PE directly in
+	// flat mode or for sparse collections); migrated-in elements' shares go
+	// back to their initial nodes' combiners, keeping every combiner's
+	// expected count static.
+	if own := slot.count - slot.foreignN; own > 0 {
+		rm := p.redPartial(cid, seq, slot, own, slot)
+		p.rt.send(p.redPartialDest(coll), &Message{Kind: mRedPartial, CID: cid, Src: p.pe, Ctl: rm})
+	}
+	for node, f := range slot.foreign {
+		rm := p.redPartial(cid, seq, slot, f.count, f)
+		p.rt.send(redCombinerPEOn(p.rt, cid, node), &Message{Kind: mRedPartial, CID: cid, Src: p.pe, Ctl: rm})
+	}
+}
+
+// redPartial builds the wire partial for one accumulation slot (the PE's
+// own share or one per-initial-node foreign sub-slot). Custom reducers are
+// applied to the local batch before sending.
+func (p *peState) redPartial(cid CID, seq int64, slot *localRedSlot, count int, acc *localRedSlot) *redPartialMsg {
 	rm := &redPartialMsg{
-		CID: collCID(coll), Seq: seq, Count: slot.count,
+		CID: cid, Seq: seq, Count: count,
 		Reducer: slot.reducer, Target: slot.target,
 	}
 	switch {
 	case slot.reducer == "":
 	case slot.reducer == "gather":
-		rm.List = slot.list
+		rm.List = acc.list
 	case isListReducer(p.rt, slot.reducer):
 		fn := p.rt.reducerFunc(slot.reducer)
-		vals := make([]any, len(slot.list))
-		for i, e := range slot.list {
+		vals := make([]any, len(acc.list))
+		for i, e := range acc.list {
 			vals[i] = e.Data
 		}
 		rm.Data = fn(vals)
 	default:
-		rm.Data = slot.partial
+		rm.Data = acc.partial
 	}
-	root := rootPE(p.rt, collCID(coll))
-	p.rt.send(root, &Message{Kind: mRedPartial, CID: collCID(coll), Src: p.pe, Ctl: rm})
+	return rm
 }
+
+// redPartialDest returns where this PE's own partial goes: the job root in
+// flat mode or for sparse collections, this node's tree combiner otherwise.
+func (p *peState) redPartialDest(coll *localColl) PE {
+	cid := collCID(coll)
+	if !p.rt.treeEnabled() || coll.cm.Kind == ckSparse {
+		return rootPE(p.rt, cid)
+	}
+	return redCombinerPEOn(p.rt, cid, p.rt.nodeID)
+}
+
+// redCombinerPEOn returns the PE that merges reduction partials on a node.
+// On the node hosting the job-level root it is the root itself; elsewhere a
+// per-collection hash spreads combiner duty across the node's PEs.
+func redCombinerPEOn(rt *Runtime, cid CID, node int) PE {
+	root := rootPE(rt, cid)
+	if rt.nodeOf(root) == node {
+		return root
+	}
+	return PE(node*rt.cfg.PEs + int(idxHash([]int{int(cid)})%uint64(rt.cfg.PEs)))
+}
+
+// redRootNode returns the node hosting a collection's job-level reduction
+// root; reduction partials climb the spanning tree rooted there.
+func (rt *Runtime) redRootNode(cid CID) int { return rt.nodeOf(rootPE(rt, cid)) }
 
 func collCID(coll *localColl) CID { return coll.cm.CID }
 
@@ -152,8 +232,15 @@ func (p *peState) redRootRecv(m *Message) {
 		slot = &rootRedSlot{reducer: rm.Reducer}
 		coll.rootRed[rm.Seq] = slot
 	}
+	p.mergePartial(slot, rm)
+	p.redCheckComplete(coll, rm.Seq, slot)
+}
+
+// mergePartial folds one arriving partial into an accumulation slot; shared
+// by the job-level root and the per-node tree combiners.
+func (p *peState) mergePartial(slot *rootRedSlot, rm *redPartialMsg) {
 	if slot.reducer != rm.Reducer {
-		panic(fmt.Sprintf("core: mismatched reducers at reduction root (%q vs %q)", slot.reducer, rm.Reducer))
+		panic(fmt.Sprintf("core: mismatched reducers at reduction combine (%q vs %q)", slot.reducer, rm.Reducer))
 	}
 	if !slot.hasTarget {
 		slot.target = rm.Target
@@ -174,7 +261,97 @@ func (p *peState) redRootRecv(m *Message) {
 			slot.partial = combineBuiltin(rm.Reducer, slot.partial, rm.Data)
 		}
 	}
-	p.redCheckComplete(coll, rm.Seq, slot)
+}
+
+// redCombinerRecv runs on a node's tree-combiner PE: it merges the partials
+// of this node's own PEs (plus shares routed back for elements initially
+// placed here that have since migrated away) with the merged partials of
+// this node's child subtrees, and forwards exactly one partial to the
+// parent node's combiner once the whole subtree has reported.
+func (p *peState) redCombinerRecv(m *Message) {
+	coll := p.colls[m.CID]
+	if coll == nil {
+		p.pendingColl[m.CID] = append(p.pendingColl[m.CID], m)
+		return
+	}
+	rm := m.Ctl.(*redPartialMsg)
+	if met := p.rt.met; met != nil {
+		met.collPartials.Inc()
+	}
+	slot := coll.nodeRed[rm.Seq]
+	if slot == nil {
+		slot = &rootRedSlot{reducer: rm.Reducer}
+		coll.nodeRed[rm.Seq] = slot
+	}
+	p.mergePartial(slot, rm)
+	expect := p.redTreeExpect(coll)
+	if slot.count < expect {
+		return
+	}
+	if slot.count > expect {
+		panic(fmt.Sprintf("core: reduction %d of collection %d: node %d combiner received %d contributions for a subtree of %d",
+			rm.Seq, m.CID, p.rt.nodeID, slot.count, expect))
+	}
+	delete(coll.nodeRed, rm.Seq)
+	rt := p.rt
+	parent := treeParent(rt.nodeID, rt.redRootNode(m.CID), rt.numNodes, rt.arity)
+	if tr := rt.cfg.Trace; tr != nil {
+		tr.TreeHop(parent, tr.Since(), slot.count)
+	}
+	out := p.redPartial(m.CID, rm.Seq, &localRedSlot{
+		reducer: slot.reducer, target: slot.target,
+	}, slot.count, &localRedSlot{
+		partial: slot.partial, hasPartial: slot.hasPartial, list: slot.list,
+	})
+	rt.send(redCombinerPEOn(rt, m.CID, parent), &Message{Kind: mRedPartial, CID: m.CID, Src: p.pe, Ctl: out})
+}
+
+// redTreeExpect returns (and caches) how many element contributions this
+// node's combiner must merge before forwarding: the elements initially
+// placed on any node of this node's subtree in the reduction tree.
+func (p *peState) redTreeExpect(coll *localColl) int {
+	if !coll.treeExpectOK {
+		rt := p.rt
+		root := rt.redRootNode(collCID(coll))
+		n := 0
+		stack := []int{rt.nodeID}
+		var cbuf [8]int
+		for len(stack) > 0 {
+			nd := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			n += rt.initialElemsOnNode(coll.cm, nd)
+			stack = append(stack, appendTreeChildren(cbuf[:0], nd, root, rt.numNodes, rt.arity)...)
+		}
+		coll.treeExpect = n
+		coll.treeExpectOK = true
+	}
+	return coll.treeExpect
+}
+
+// initialElemsOnNode counts the elements of a dense collection initially
+// placed on a node. It is pure arithmetic over the collection metadata, so
+// every node computes identical values — the property that lets tree
+// combiners know their subtree totals without any membership exchange.
+func (rt *Runtime) initialElemsOnNode(cm *createMsg, node int) int {
+	switch cm.Kind {
+	case ckSingle:
+		if rt.nodeOf(rt.initialPE(cm, []int{0})) == node {
+			return 1
+		}
+		return 0
+	case ckGroup:
+		return rt.cfg.PEs
+	case ckArray:
+		n := 0
+		total := numElems(cm.Dims)
+		for pos := 0; pos < total; pos++ {
+			if rt.nodeOf(rt.initialPE(cm, delinearize(pos, cm.Dims))) == node {
+				n++
+			}
+		}
+		return n
+	}
+	panic(fmt.Sprintf("core: no static initial placement for collection kind %d", cm.Kind))
 }
 
 func (p *peState) redCheckComplete(coll *localColl, seq int64, slot *rootRedSlot) {

@@ -82,6 +82,15 @@ type Config struct {
 	// batches — the latency bound for aggregated messages when every PE is
 	// busy. 0 selects the default (100us).
 	FlushInterval time.Duration
+	// TreeArity is the fan-out k of the k-ary spanning tree used for
+	// inter-node collectives (tree.go): a broadcast source sends at most k
+	// frames and each receiving node relays to at most k children, and
+	// reduction partials are merged at each interior node on the way up,
+	// bounding any node's collective work to O(k) instead of the flat
+	// scheme's O(N) at the root. 0 selects the default (4); a negative
+	// value disables the tree (flat collectives, every peer messaged
+	// directly from the source/root).
+	TreeArity int
 	// FT, when non-nil, enables in-memory double checkpointing (see ft.go
 	// and internal/ft): Chare.FTCheckpoint ships each node's snapshot to its
 	// buddy through this store, and RestartFromMemory restores a failed
@@ -133,6 +142,13 @@ type Runtime struct {
 	wt  *wireTables // method-name interning, built at Start
 	agg *aggregator // cross-node send aggregation; nil when disabled
 
+	// spanning-tree collectives (tree.go)
+	arity    int           // resolved Config.TreeArity (<= 0 disables)
+	bcastSeq atomic.Uint64 // per-root fragment sequence numbers
+	fragMu   sync.Mutex
+	frags    map[fragKey]*fragAsm // in-flight fragmented broadcasts
+	ord      *bcastOrder          // causal ordering for tree broadcasts; nil when tree off
+
 	met        *rtMetrics        // nil unless Config.Metrics is set
 	traceRepCh chan trace.Report // node 0 gather channel (TraceGather)
 	gathered   []trace.Report    // node 0: all node reports after Start
@@ -140,6 +156,11 @@ type Runtime struct {
 	// test/diagnostic counters (atomics; the send path is hot)
 	nMsgsLocal atomic.Int64
 	nMsgsWire  atomic.Int64
+	// nBcastSends counts per-destination transmissions used to originate
+	// broadcasts from this node: with the spanning tree it grows by at most
+	// TreeArity per broadcast regardless of job size, with flat collectives
+	// by numNodes-1. Benchmarks assert the O(N) -> O(k) drop on it.
+	nBcastSends atomic.Int64
 }
 
 // NewRuntime creates a node runtime. Register chare types on it, then call
@@ -155,6 +176,11 @@ func NewRuntime(cfg Config) *Runtime {
 		reducers: map[string]ReducerFunc{},
 		locCache: map[CID]map[string]PE{},
 		done:     make(chan struct{}),
+		frags:    map[fragKey]*fragAsm{},
+	}
+	rt.arity = cfg.TreeArity
+	if rt.arity == 0 {
+		rt.arity = defaultTreeArity
 	}
 	empty := map[CID]*createMsg{}
 	rt.colls.Store(&empty)
@@ -166,6 +192,13 @@ func NewRuntime(cfg Config) *Runtime {
 	}
 	rt.basePE = PE(rt.nodeID * cfg.PEs)
 	rt.totalPEs = rt.numNodes * cfg.PEs
+	if rt.treeEnabled() {
+		rt.ord = &bcastOrder{
+			sent:  make([]atomic.Int64, rt.numNodes),
+			recv:  make([]atomic.Int64, rt.numNodes),
+			holds: map[int][]*heldBcast{},
+		}
+	}
 	rt.Register(&mainChare{}, Threaded("Run"))
 	return rt
 }
@@ -253,6 +286,7 @@ func (rt *Runtime) Exit() {
 			for n := 0; n < rt.numNodes; n++ {
 				if n != rt.nodeID {
 					// xmit swallows errors once exited; a peer may be down
+					rt.ordSentTo(n)
 					rt.xmit(n, appendMsg(transport.GetBuf(), -1, exit, rt.wt))
 				}
 			}
@@ -322,6 +356,7 @@ func (rt *Runtime) send(pe PE, m *Message) {
 		met.sendsWire.Inc()
 	}
 	node := rt.nodeOf(pe)
+	rt.ordSentTo(node) // tree broadcasts must not overtake this message
 	if rt.agg != nil {
 		rt.agg.send(node, pe, m)
 		return
@@ -362,16 +397,62 @@ func (rt *Runtime) xmit(node int, buf []byte) {
 	}
 }
 
-// bcastAllPEs delivers a copy of m to every PE in the job.
+// xmitShared transmits one buffer to several nodes, taking ownership of buf.
+// Transports that can fan out a refcounted buffer (the in-memory one) get
+// the whole destination list in one call; others receive per-node copies —
+// the last destination takes the original buffer.
+func (rt *Runtime) xmitShared(nodes []int, buf []byte) {
+	if len(nodes) == 0 {
+		transport.PutBuf(buf)
+		return
+	}
+	if sb, ok := rt.cfg.Transport.(transport.SharedBufSender); ok && len(nodes) > 1 {
+		if met := rt.met; met != nil {
+			met.framesOut.Add(int64(len(nodes)))
+			met.wireBytesOut.Add(int64(len(nodes)) * int64(len(buf)-transport.PrefixLen))
+		}
+		if tr := rt.cfg.Trace; tr != nil {
+			for _, n := range nodes {
+				tr.Frame(true, n, tr.Since(), len(buf)-transport.PrefixLen)
+			}
+		}
+		// Copy the destination list before the interface call so callers'
+		// stack-allocated child arrays don't escape on the non-shared path.
+		ns := make([]int, len(nodes))
+		copy(ns, nodes)
+		if err := sb.SendBufShared(ns, buf); err != nil && !rt.exited.Load() && rt.cfg.FT == nil {
+			panic(fmt.Sprintf("core: transport send to nodes %v: %v", ns, err))
+		}
+		return
+	}
+	body := buf[transport.PrefixLen:]
+	for i, n := range nodes {
+		out := buf
+		if i < len(nodes)-1 {
+			out = append(transport.GetBuf(), body...)
+		}
+		rt.xmit(n, out)
+	}
+}
+
+// bcastAllPEs delivers m to every PE in the job: over the k-ary spanning
+// tree when enabled (the source sends at most TreeArity frames and each
+// node relays to its children), or by messaging every peer node directly
+// in flat mode.
 func (rt *Runtime) bcastAllPEs(m *Message) {
 	if rt.numNodes > 1 {
-		for n := 0; n < rt.numNodes; n++ {
-			if n != rt.nodeID {
-				rt.qdCountSend(m.Kind) // the frame itself, matched at ingress
-				if rt.agg != nil {
-					rt.agg.send(n, -1, m)
-				} else {
-					rt.xmit(n, appendMsg(transport.GetBuf(), -1, m, rt.wt))
+		if rt.treeEnabled() {
+			rt.bcastTree(m)
+		} else {
+			rt.nBcastSends.Add(int64(rt.numNodes - 1))
+			for n := 0; n < rt.numNodes; n++ {
+				if n != rt.nodeID {
+					rt.qdCountSend(m.Kind) // the frame itself, matched at ingress
+					if rt.agg != nil {
+						rt.agg.send(n, -1, m)
+					} else {
+						rt.xmit(n, appendMsg(transport.GetBuf(), -1, m, rt.wt))
+					}
 				}
 			}
 		}
@@ -379,22 +460,53 @@ func (rt *Runtime) bcastAllPEs(m *Message) {
 	rt.deliverAllLocal(m)
 }
 
-func (rt *Runtime) deliverAllLocal(m *Message) {
+// deliverAllLocal hands a node-level broadcast to every local PE. The
+// message was decoded (or built) once on this node; all PEs share the same
+// immutable *Message — and therefore the same argument backing — instead of
+// receiving per-PE copies. The exceptions are the message shapes a handler
+// mutates in place (element-addressed invokes bump the forwarding hop
+// count, channel messages rebind their value lazily): those keep per-PE
+// copies.
+func (rt *Runtime) deliverAllLocal(m *Message) { rt.deliverAllLocalShared(m, nil) }
+
+// deliverAllLocalShared is deliverAllLocal with a release hook that runs
+// after the last PE finishes handling the message (fragmented broadcasts
+// use it to recycle the pooled reassembly buffer).
+func (rt *Runtime) deliverAllLocalShared(m *Message, release func()) {
 	tr := rt.cfg.Trace
 	src := -1
 	if tr != nil && rt.isLocal(m.Src) {
 		src = int(m.Src - rt.basePE)
 	}
-	for _, p := range rt.pes {
-		rt.qdCountSend(m.Kind) // per-copy; matched when the PE dequeues it
-		cp := *m
-		if tr != nil {
-			cp.enq = tr.Since()
-			if m.Kind == mInvoke {
-				tr.Send(src, m.Method, cp.enq, 0)
+	if (m.Kind == mInvoke && m.Idx != nil) || m.Kind == mChanMsg {
+		for _, p := range rt.pes {
+			rt.qdCountSend(m.Kind) // per-copy; matched when the PE dequeues it
+			cp := *m
+			if tr != nil {
+				cp.enq = tr.Since()
+				if m.Kind == mInvoke {
+					tr.Send(src, m.Method, cp.enq, 0)
+				}
 			}
+			p.mbox.push(&cp)
 		}
-		p.mbox.push(&cp)
+		if release != nil {
+			release()
+		}
+		return
+	}
+	sh := &msgShared{release: release}
+	sh.refs.Store(int32(len(rt.pes)))
+	m.shared = sh
+	if tr != nil {
+		m.enq = tr.Since()
+	}
+	for _, p := range rt.pes {
+		rt.qdCountSend(m.Kind) // per delivery; matched when the PE dequeues it
+		if tr != nil && m.Kind == mInvoke {
+			tr.Send(src, m.Method, m.enq, 0)
+		}
+		p.mbox.push(m)
 	}
 }
 
@@ -409,16 +521,27 @@ func (rt *Runtime) onFrame(from int, frame []byte) {
 	if tr := rt.cfg.Trace; tr != nil {
 		tr.Frame(false, from, tr.Since(), len(frame))
 	}
-	if len(frame) >= 4 && int32(binary.LittleEndian.Uint32(frame)) == batchDest {
-		rt.onBatch(from, frame[4:])
-		return
+	if len(frame) >= 4 {
+		switch d := int32(binary.LittleEndian.Uint32(frame)); {
+		case d == batchDest:
+			rt.onBatch(from, frame[4:])
+			return
+		case d == fragDest:
+			rt.onFragment(from, frame)
+			return
+		case d <= treeDestBase:
+			rt.onTreeBcast(from, frame)
+			return
+		}
 	}
 	if m, dest, local := rt.ingress(from, frame); local {
 		if tr := rt.cfg.Trace; tr != nil {
 			m.enq = tr.Since()
 		}
 		rt.localPE(dest).mbox.push(m)
+		rt.ordRecvFrom(from)
 	}
+	rt.ordRelease(from)
 }
 
 // onBatch de-batches an aggregated frame. Messages bound for local PEs are
@@ -426,6 +549,7 @@ func (rt *Runtime) onFrame(from int, frame []byte) {
 // wakeup per PE per batch instead of per message).
 func (rt *Runtime) onBatch(from int, body []byte) {
 	perPE := make([][]*Message, rt.cfg.PEs)
+	pending := 0 // buffered local unicasts not yet counted for ordering
 	flush := func() {
 		for i, ms := range perPE {
 			if len(ms) > 0 {
@@ -433,6 +557,11 @@ func (rt *Runtime) onBatch(from int, body []byte) {
 				perPE[i] = perPE[i][:0]
 			}
 		}
+		// Count the ordering receives only now that the messages are in the
+		// mailboxes — a count may release a held tree broadcast, which must
+		// enqueue behind them.
+		rt.ordRecvN(from, pending)
+		pending = 0
 	}
 	for len(body) > 0 {
 		if len(body) < 4 {
@@ -459,11 +588,13 @@ func (rt *Runtime) onBatch(from int, body []byte) {
 			}
 			i := int(dest - rt.basePE)
 			perPE[i] = append(perPE[i], m)
+			pending++
 		} else if m != nil && m.Kind == mExit {
 			return
 		}
 	}
 	flush()
+	rt.ordRelease(from)
 }
 
 // ingress decodes and routes one inbound frame. It returns (m, dest, true)
@@ -482,12 +613,19 @@ func (rt *Runtime) ingress(from int, frame []byte) (*Message, PE, bool) {
 		}
 	}
 	rt.rebindMsg(m)
+	// Causal-ordering receive counts (tree.go): a tree broadcast from this
+	// sender is held until every direct message it had already sent us has
+	// been ingressed AND is visible locally. The branches ingress handles
+	// itself count here; the returned-unicast case is counted by the caller
+	// after the mailbox push.
 	if m.Kind == mExit {
+		rt.ordRecvFrom(from)
 		rt.cleanExit.Store(true) // a peer's Exit reached us: orderly shutdown
 		rt.localExit()
 		return m, 0, false
 	}
 	if m.Kind == mTraceReport {
+		rt.ordRecvFrom(from)
 		if ch := rt.traceRepCh; ch != nil {
 			if tm, ok := m.Ctl.(*traceReportMsg); ok {
 				select {
@@ -499,6 +637,7 @@ func (rt *Runtime) ingress(from int, frame []byte) (*Message, PE, bool) {
 		return nil, 0, false
 	}
 	if dest < 0 {
+		rt.ordRecvFrom(from)
 		rt.qdCountRecv(m.Kind) // the broadcast frame; copies counted per-PE
 		rt.deliverAllLocal(m)
 		return nil, 0, false
@@ -506,6 +645,7 @@ func (rt *Runtime) ingress(from int, frame []byte) (*Message, PE, bool) {
 	if !rt.isLocal(dest) {
 		// mis-routed (e.g. stale location): count as received here, then
 		// forward (the forward counts as a fresh send)
+		rt.ordRecvFrom(from)
 		rt.qdCountRecv(m.Kind)
 		rt.send(dest, m)
 		return nil, 0, false
@@ -517,6 +657,11 @@ func (rt *Runtime) ingress(from int, frame []byte) (*Message, PE, bool) {
 func (rt *Runtime) MsgCounts() (local, wire int64) {
 	return rt.nMsgsLocal.Load(), rt.nMsgsWire.Load()
 }
+
+// BcastSends returns how many per-destination transmissions this node has
+// used to originate broadcasts (not counting relays); used by tests and
+// benches to assert the spanning tree's O(N) -> O(k) root fan-out drop.
+func (rt *Runtime) BcastSends() int64 { return rt.nBcastSends.Load() }
 
 // collection metadata
 

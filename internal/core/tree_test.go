@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+)
+
+// collectTree walks the k-ary tree of n nodes rooted at root via
+// appendTreeChildren and returns how many times each node was visited and
+// the maximum depth.
+func collectTree(t *testing.T, root, n, k int) (visits []int, depth int) {
+	t.Helper()
+	visits = make([]int, n)
+	type item struct{ node, d int }
+	queue := []item{{root, 0}}
+	visits[root]++
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.d > depth {
+			depth = it.d
+		}
+		for _, c := range appendTreeChildren(nil, it.node, root, n, k) {
+			if c < 0 || c >= n {
+				t.Fatalf("n=%d k=%d root=%d: child %d of node %d out of range", n, k, root, c, it.node)
+			}
+			visits[c]++
+			queue = append(queue, item{c, it.d + 1})
+		}
+		if len(queue) > n*n {
+			t.Fatalf("n=%d k=%d root=%d: runaway traversal (cycle?)", n, k, root)
+		}
+	}
+	return visits, depth
+}
+
+// TestTreeSpansEveryNodeOnce is the core spanning property: for arbitrary
+// (n, k, root) — including shrunken post-recovery node sets, which are just
+// smaller contiguous ranges — walking the tree from the root reaches every
+// node exactly once.
+func TestTreeSpansEveryNodeOnce(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 33, 100} {
+		for _, k := range []int{1, 2, 3, 4, 7, 8, 64} {
+			for root := 0; root < n; root++ {
+				visits, _ := collectTree(t, root, n, k)
+				for node, v := range visits {
+					if v != 1 {
+						t.Fatalf("n=%d k=%d root=%d: node %d visited %d times, want 1", n, k, root, node, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTreeParentChildAgree checks the two derivations are inverses: every
+// non-root node's parent lists it among its children, the root has no
+// parent, and no node fans out to more than k children.
+func TestTreeParentChildAgree(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 17} {
+		for _, k := range []int{1, 2, 4, 16} {
+			for root := 0; root < n; root++ {
+				if p := treeParent(root, root, n, k); p != -1 {
+					t.Fatalf("n=%d k=%d: parent of root %d = %d, want -1", n, k, root, p)
+				}
+				for node := 0; node < n; node++ {
+					kids := appendTreeChildren(nil, node, root, n, k)
+					if len(kids) > k {
+						t.Fatalf("n=%d k=%d root=%d: node %d has %d children, want <= %d",
+							n, k, root, node, len(kids), k)
+					}
+					for _, c := range kids {
+						if p := treeParent(c, root, n, k); p != node {
+							t.Fatalf("n=%d k=%d root=%d: parent(%d) = %d, want %d", n, k, root, c, p, node)
+						}
+					}
+					if node == root {
+						continue
+					}
+					p := treeParent(node, root, n, k)
+					found := false
+					for _, c := range appendTreeChildren(nil, p, root, n, k) {
+						if c == node {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("n=%d k=%d root=%d: node %d missing from children of its parent %d",
+							n, k, root, node, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTreeDegenerateShapes pins the edge shapes: a single node has no
+// children; k >= n-1 collapses to the flat scheme (every peer a direct
+// child of the root, depth 1).
+func TestTreeDegenerateShapes(t *testing.T) {
+	if kids := appendTreeChildren(nil, 0, 0, 1, 4); len(kids) != 0 {
+		t.Fatalf("n=1: children = %v, want none", kids)
+	}
+	for _, n := range []int{2, 4, 9} {
+		for root := 0; root < n; root++ {
+			visits, depth := collectTree(t, root, n, n-1)
+			if depth != 1 {
+				t.Fatalf("n=%d k=%d root=%d: depth %d, want 1 (flat)", n, n-1, root, depth)
+			}
+			_ = visits
+			if kids := appendTreeChildren(nil, root, root, n, n-1); len(kids) != n-1 {
+				t.Fatalf("n=%d k=%d root=%d: root has %d children, want %d", n, n-1, root, len(kids), n-1)
+			}
+		}
+	}
+}
+
+// TestTreeBoundsRootFanout is the perf contract behind the spanning tree:
+// the root of a broadcast sends at most k frames regardless of job size,
+// and the tree depth grows logarithmically rather than staying flat.
+func TestTreeBoundsRootFanout(t *testing.T) {
+	const n, k = 100, 4
+	for root := 0; root < n; root += 13 {
+		if kids := appendTreeChildren(nil, root, root, n, k); len(kids) > k {
+			t.Fatalf("root %d fans out to %d children, want <= %d", root, len(kids), k)
+		}
+		_, depth := collectTree(t, root, n, k)
+		if depth < 3 || depth > 5 {
+			t.Fatalf("root %d: depth %d for n=%d k=%d, want logarithmic (3..5)", root, depth, n, k)
+		}
+	}
+}
+
+// TestTreeDestRoundTrip checks the reserved-destination encoding of tree
+// broadcasts: roots map below treeDestBase and decode back exactly, without
+// colliding with the other reserved destinations (-1 broadcast, -2 batch,
+// -3/-4 fault-tolerance detector, -5 fragment).
+func TestTreeDestRoundTrip(t *testing.T) {
+	for root := 0; root < 1000; root++ {
+		d := treeDest(root)
+		if d > treeDestBase {
+			t.Fatalf("treeDest(%d) = %d, want <= %d", root, d, treeDestBase)
+		}
+		if got := treeDestRoot(d); got != root {
+			t.Fatalf("treeDestRoot(treeDest(%d)) = %d", root, got)
+		}
+	}
+	if fragDest <= treeDestBase || fragDest >= -2 {
+		t.Fatalf("fragDest = %d collides with another reserved destination", fragDest)
+	}
+}

@@ -194,6 +194,13 @@ type Message struct {
 	// when tracing is enabled; the dequeue side turns it into queue-wait
 	// latency (EvRecv). Unexported: node-local, never serialized.
 	enq time.Duration
+
+	// shared, when non-nil, marks a node-level broadcast delivered to every
+	// local PE as this one shared pointer (zero-copy local fan-out,
+	// tree.go): the PE scheduler decrements its refcount after handling and
+	// the last PE runs the release hook. Unexported: node-local, never
+	// serialized.
+	shared *msgShared
 }
 
 func (m *Message) String() string {

@@ -43,6 +43,25 @@ func init() {
 // where batchDest is the reserved pseudo-destination -2. Both frame shapes
 // may arrive from any peer, so batched and unbatched nodes interoperate.
 //
+// Spanning-tree collectives (tree.go) add two more reserved shapes:
+//
+//	[4B LE dest <= -6][sent vector][inner -1 frame]        tree broadcast
+//	[4B LE -5][1B kind][uvarint root seq idx total][chunk] broadcast fragment
+//
+// A tree-broadcast dest word encodes the originating root (root = -6 -
+// dest). The sent vector is numNodes uvarints: the root's count of direct
+// messages already sent to each node, snapshotted when the broadcast was
+// issued. Receivers relay the still-encoded frame to their children in the
+// k-ary tree rooted at root immediately, but hold local delivery of the
+// embedded standard frame until they have ingressed that many direct
+// messages from the root — relayed broadcasts travel a different path than
+// per-link FIFO traffic and would otherwise overtake it. Fragment frames
+// carry a slice of a large tree-broadcast frame (vector included); the kind
+// byte is replicated into each fragment so relays can keep quiescence
+// accounting without reassembly. Destinations -3 and -4 are claimed by the
+// fault-tolerance detector's heartbeat and death-notice control frames
+// (internal/ft).
+//
 // Entry-method names in mInvoke frames are interned against the wireTables
 // built from the chare-type registry: since every node registers the same
 // types before Start (a documented requirement the deterministic dispatch
@@ -159,6 +178,19 @@ func decodeMsg(frame []byte) (PE, *Message, error) {
 }
 
 func decodeMsgWT(frame []byte, wt *wireTables) (PE, *Message, error) {
+	return decodeMsgFull(frame, wt, false)
+}
+
+// decodeMsgOwned decodes a frame the caller owns outright and keeps
+// immutable and un-recycled for the lifetime of the message: []byte
+// arguments alias the frame instead of being copied. Reassembled tree
+// broadcasts use it — their buffer is garbage-collected, so the decoded
+// message is the only payload copy the node ever makes.
+func decodeMsgOwned(frame []byte, wt *wireTables) (PE, *Message, error) {
+	return decodeMsgFull(frame, wt, true)
+}
+
+func decodeMsgFull(frame []byte, wt *wireTables, alias bool) (PE, *Message, error) {
 	if len(frame) < 5 {
 		return 0, nil, fmt.Errorf("short frame (%d bytes)", len(frame))
 	}
@@ -184,7 +216,11 @@ func decodeMsgWT(frame []byte, wt *wireTables) (PE, *Message, error) {
 		if r.err != nil {
 			return 0, nil, r.err
 		}
-		args, _, err := ser.DecodeArgs(r.rest())
+		decode := ser.DecodeArgs
+		if alias {
+			decode = ser.DecodeArgsAlias
+		}
+		args, _, err := decode(r.rest())
 		if err != nil {
 			return 0, nil, fmt.Errorf("invoke args: %w", err)
 		}

@@ -18,10 +18,11 @@ import (
 // once, gossiped to the remaining peers (so detection converges in one
 // message instead of another timeout), and reported through OnDeath.
 //
-// Detector control frames reuse the wire-v2 destination prefix: core only
-// ever emits dest >= 0 (unicast), -1 (broadcast) and -2 (batch), so the
-// detector claims -3 (heartbeat) and -4 (death notice) and filters them
-// out before the runtime's handler sees them.
+// Detector control frames reuse the wire-v2 destination prefix: core emits
+// dest >= 0 (unicast), -1 (broadcast), -2 (batch), -5 (broadcast fragment)
+// and <= -6 (tree broadcast), so the detector claims -3 (heartbeat) and -4
+// (death notice) and filters them out before the runtime's handler sees
+// them.
 
 const (
 	hbDest    int32 = -3 // [4B LE -3]

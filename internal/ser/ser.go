@@ -157,7 +157,17 @@ func appendOne(dst []byte, a any) ([]byte, error) {
 // actually present before any allocation or multiplication, so truncated or
 // corrupt frames fail with an error rather than overflowing or exhausting
 // memory.
-func DecodeArgs(data []byte) ([]any, int, error) {
+func DecodeArgs(data []byte) ([]any, int, error) { return decodeArgs(data, false) }
+
+// DecodeArgsAlias is DecodeArgs for callers that own data outright and keep
+// it immutable for the lifetime of the decoded arguments: []byte arguments
+// alias the input buffer instead of being copied out of it. The runtime uses
+// it to deliver large reassembled broadcasts without an extra payload copy
+// per node; the backing buffer must then be left to the garbage collector,
+// never recycled.
+func DecodeArgsAlias(data []byte) ([]any, int, error) { return decodeArgs(data, true) }
+
+func decodeArgs(data []byte, alias bool) ([]any, int, error) {
 	count, n := binary.Uvarint(data)
 	if n <= 0 {
 		return nil, 0, fmt.Errorf("bad argument count")
@@ -169,7 +179,7 @@ func DecodeArgs(data []byte) ([]any, int, error) {
 	pos := n
 	args := make([]any, 0, count)
 	for i := uint64(0); i < count; i++ {
-		a, used, err := decodeOne(data[pos:])
+		a, used, err := decodeOne(data[pos:], alias)
 		if err != nil {
 			return nil, 0, fmt.Errorf("arg %d: %w", i, err)
 		}
@@ -179,7 +189,7 @@ func DecodeArgs(data []byte) ([]any, int, error) {
 	return args, pos, nil
 }
 
-func decodeOne(data []byte) (any, int, error) {
+func decodeOne(data []byte, alias bool) (any, int, error) {
 	if len(data) == 0 {
 		return nil, 0, fmt.Errorf("truncated argument")
 	}
@@ -236,6 +246,9 @@ func decodeOne(data []byte) (any, int, error) {
 		l, err := readCount(1)
 		if err != nil {
 			return nil, 0, err
+		}
+		if alias {
+			return data[pos : pos+l : pos+l], pos + l, nil
 		}
 		out := make([]byte, l)
 		copy(out, data[pos:pos+l])

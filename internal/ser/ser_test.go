@@ -50,6 +50,53 @@ func TestSliceRoundtrip(t *testing.T) {
 	}
 }
 
+// TestDecodeArgsAlias pins the zero-copy contract of the aliasing decoder:
+// []byte arguments share the input buffer's backing array (no copy, full
+// capacity clamp), other kinds decode identically to DecodeArgs, and the
+// plain decoder still copies.
+func TestDecodeArgsAlias(t *testing.T) {
+	payload := []byte{10, 20, 30, 40}
+	args := []any{payload, "name", 7, []float64{1.5}}
+	var buf bytes.Buffer
+	if err := EncodeArgs(&buf, args); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	out, n, err := DecodeArgsAlias(data)
+	if err != nil || n != len(data) {
+		t.Fatalf("alias decode: n=%d err=%v", n, err)
+	}
+	if !reflect.DeepEqual(args, out) {
+		t.Fatalf("alias roundtrip mismatch:\n got %#v\nwant %#v", out, args)
+	}
+	b := out[0].([]byte)
+	if len(b) != len(payload) || cap(b) != len(payload) {
+		t.Errorf("aliased []byte len/cap = %d/%d, want %d/%d (three-index clamp)",
+			len(b), cap(b), len(payload), len(payload))
+	}
+	// Mutating the input buffer must show through the aliased argument...
+	for i := 0; i+len(payload) <= len(data); i++ {
+		if bytes.Equal(data[i:i+len(payload)], payload) {
+			data[i] ^= 0xff
+			if b[0] != payload[0]^0xff {
+				t.Error("aliased []byte does not share the input buffer")
+			}
+			data[i] ^= 0xff
+			break
+		}
+	}
+	// ...while the plain decoder stays isolated from later buffer reuse.
+	out2, _, err := DecodeArgs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xff
+	if !bytes.Equal(out2[0].([]byte), payload) {
+		t.Error("DecodeArgs []byte aliases the input buffer; must copy")
+	}
+	data[0] ^= 0xff
+}
+
 func TestEmptySlices(t *testing.T) {
 	args := []any{[]float64{}, []byte{}, []int{}}
 	out := roundtrip(t, args)

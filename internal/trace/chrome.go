@@ -117,6 +117,14 @@ func WriteChrome(w io.Writer, reports ...Report) error {
 				ce.Ph, ce.Cat = "X", "ft"
 				ce.Name = fmt.Sprintf("recovery epoch %d", e.N)
 				ce.Dur = float64(e.Dur) * usPerNs
+			case EvTreeHop:
+				ce.Ph, ce.Cat, ce.S = "i", "coll", "p"
+				ce.Name = fmt.Sprintf("tree-hop→node%d", e.Dest)
+				ce.Args = map[string]any{"n": e.N}
+			case EvFrag:
+				ce.Ph, ce.Cat, ce.S = "i", "coll", "p"
+				ce.Name = fmt.Sprintf("frag%d→node%d", e.N, e.Dest)
+				ce.Args = map[string]any{"bytes": e.Bytes}
 			default:
 				ce.Ph, ce.Cat, ce.S = "i", e.Kind.String(), "t"
 				ce.Name = e.Kind.String()

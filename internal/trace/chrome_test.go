@@ -82,6 +82,8 @@ func buildReports() []Report {
 		tr.Flush(node, 20, 4096, 7)
 		tr.Frame(true, 1-node, 21, 4100)
 		tr.Frame(false, 1-node, 22, 2100)
+		tr.TreeHop(1-node, 23, 4100)
+		tr.Frag(1-node, 24, 65536, 3)
 		tr.Comm(node*2, (node*2+3)%4, 4096)
 	}
 	return []Report{trs[0].Report(0), trs[1].Report(1)}
@@ -145,6 +147,13 @@ func TestWriteChromeValidJSON(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "flush") {
 		t.Error("flush instants missing from export")
+	}
+	// Spanning-tree collective events render as "coll"-category instants:
+	// one tree hop and one fragment per node, addressed to the peer node.
+	for _, want := range []string{"tree-hop→node0", "tree-hop→node1", "frag3→node0", "frag3→node1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("collective event %q missing from Chrome export", want)
+		}
 	}
 }
 

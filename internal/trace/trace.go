@@ -67,6 +67,14 @@ const (
 	// EvRecovery is one completed fault-tolerance recovery (N = restored
 	// checkpoint epoch, Dur = detection-to-restore latency when known).
 	EvRecovery
+	// EvTreeHop is one collective spanning-tree hop: a broadcast frame sent
+	// or relayed to a child node, or a merged reduction partial forwarded to
+	// a parent node (Dest = peer node; Bytes = frame size for broadcasts,
+	// N = folded contributions for reduction forwards).
+	EvTreeHop
+	// EvFrag is one broadcast fragment sent or relayed down the tree
+	// (Dest = child node, Bytes = chunk size, N = fragment index).
+	EvFrag
 
 	numKinds
 )
@@ -74,7 +82,7 @@ const (
 var kindNames = [numKinds]string{
 	"em", "send", "recv", "idle", "reduction", "future", "qd",
 	"migrate-out", "migrate-in", "lb", "flush", "frame-out", "frame-in",
-	"hb-miss", "node-death", "recovery",
+	"hb-miss", "node-death", "recovery", "tree-hop", "frag",
 }
 
 // String returns a short stable name for the kind.
@@ -276,6 +284,18 @@ func (t *Tracer) NodeDeath(node int, at time.Duration) {
 // recorder cannot know it, e.g. the runtime-internal restore path).
 func (t *Tracer) Recovery(epoch int, at, dur time.Duration) {
 	t.record(-1, Event{PE: -1, Kind: EvRecovery, At: at, Dur: dur, N: epoch})
+}
+
+// TreeHop records one collective spanning-tree hop: a broadcast frame sent
+// or relayed to a child node (n = frame bytes), or a merged reduction
+// partial forwarded to a parent node (n = folded contribution count).
+func (t *Tracer) TreeHop(node int, at time.Duration, n int) {
+	t.record(-1, Event{PE: -1, Kind: EvTreeHop, At: at, Dest: node, N: n})
+}
+
+// Frag records one broadcast fragment sent or relayed to a child node.
+func (t *Tracer) Frag(node int, at time.Duration, bytes, idx int) {
+	t.record(-1, Event{PE: -1, Kind: EvFrag, At: at, Dest: node, Bytes: bytes, N: idx})
 }
 
 // Comm accounts bytes on the wire from global PE src to global PE dst in the

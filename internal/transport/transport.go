@@ -114,6 +114,18 @@ type BufSender interface {
 	SendBuf(node int, buf []byte) error
 }
 
+// SharedBufSender is the fan-out variant of BufSender for transports that
+// can deliver one immutable buffer to several peers without a per-peer copy
+// (the in-memory transport refcounts it; socket transports fall back to the
+// caller's copy loop because each connection write needs its own frame
+// lifetime anyway). SendBufShared takes ownership of buf just like SendBuf:
+// the buffer is recycled after the last destination handler has run.
+// Receivers must treat the frame as read-only — every destination sees the
+// same bytes.
+type SharedBufSender interface {
+	SendBufShared(nodes []int, buf []byte) error
+}
+
 // ---- in-memory transport ----
 
 // MemNetwork is a set of connected in-process transports, one per node.
@@ -151,9 +163,17 @@ type MemEndpoint struct {
 }
 
 type memFrame struct {
-	from  int
-	frame []byte
-	owned []byte // non-nil: pooled buffer to recycle after the handler runs
+	from   int
+	frame  []byte
+	owned  []byte     // non-nil: pooled buffer to recycle after the handler runs
+	shared *memShared // non-nil: fan-out buffer recycled after the last handler
+}
+
+// memShared refcounts one buffer enqueued to several destinations by
+// SendBufShared; the destination whose handler finishes last recycles it.
+type memShared struct {
+	buf  []byte
+	refs atomic.Int32
 }
 
 // NodeID implements Transport.
@@ -187,6 +207,33 @@ func (e *MemEndpoint) SendBuf(node int, buf []byte) error {
 		PutBuf(buf)
 	}
 	return err
+}
+
+// SendBufShared implements SharedBufSender: every destination queue gets the
+// same payload slice, and the buffer is recycled once the last destination
+// handler has run.
+func (e *MemEndpoint) SendBufShared(nodes []int, buf []byte) error {
+	if len(nodes) == 0 {
+		PutBuf(buf)
+		return nil
+	}
+	if len(nodes) == 1 {
+		return e.SendBuf(nodes[0], buf)
+	}
+	sh := &memShared{buf: buf}
+	sh.refs.Store(int32(len(nodes)))
+	var firstErr error
+	for _, n := range nodes {
+		if err := e.enqueue(n, memFrame{from: e.id, frame: buf[PrefixLen:], shared: sh}); err != nil {
+			if sh.refs.Add(-1) == 0 {
+				PutBuf(buf)
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
 }
 
 func (e *MemEndpoint) enqueue(node int, f memFrame) error {
@@ -229,6 +276,8 @@ func (e *MemEndpoint) pump() {
 			h(f.from, f.frame)
 			if f.owned != nil {
 				PutBuf(f.owned)
+			} else if f.shared != nil && f.shared.refs.Add(-1) == 0 {
+				PutBuf(f.shared.buf)
 			}
 		}
 	}
