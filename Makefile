@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint charmvet race fuzz bench collectives vet profile chaos
+.PHONY: all build test check lint charmvet race fuzz bench collectives vet profile chaos gen gencheck bench/dispatch
 
 all: build
 
@@ -21,15 +21,26 @@ charmvet:
 
 lint: vet charmvet
 
+# gen (re)writes charmgo_gen.go typed dispatch/codec bindings for every
+# package defining chare types — the charmxi analog (DESIGN.md §codegen).
+# gencheck verifies the committed bindings are fresh without writing; it is
+# part of `make check` so entry-method drift fails CI.
+gen:
+	$(GO) run ./cmd/charmgo gen ./...
+
+gencheck:
+	$(GO) run ./cmd/charmgo gen -check ./...
+
 # chaos runs the fault-tolerance suite (failure detection, buddy
 # checkpointing, kill-one-node recovery, chaos transport) under the race
 # detector. See DESIGN.md §3.4 and EXPERIMENTS.md.
 chaos:
 	$(GO) test -race -count=1 ./internal/ft/
 
-# check is the CI gate: build everything, lint (go vet + charmvet), run the
-# full test suite under the race detector, then the chaos/recovery suite.
-check: build lint
+# check is the CI gate: build everything, lint (go vet + charmvet), verify
+# generated bindings are fresh, run the full test suite under the race
+# detector, then the chaos/recovery suite.
+check: build lint gencheck
 	$(GO) test -race ./...
 	$(MAKE) chaos
 
@@ -47,6 +58,14 @@ bench:
 	$(GO) test -run xxx -bench 'BenchmarkEncodeMsgInvoke|BenchmarkDecodeMsgInvoke|BenchmarkMailbox' ./internal/core/
 	$(GO) test -run xxx -bench BenchmarkBroadcastReduce -benchtime 20x .
 	$(GO) run ./cmd/collectivebench
+	$(GO) run ./cmd/dispatchbench
+
+# bench/dispatch regenerates only BENCH_dispatch.json (generated bindings vs
+# reflective dispatch, mem/TCP transports; see EXPERIMENTS.md §dispatch) and
+# prints the go-bench ablation including the gob-fallback struct rows.
+bench/dispatch:
+	$(GO) test -run xxx -bench 'BenchmarkDispatch' -benchtime 2000x .
+	$(GO) run ./cmd/dispatchbench
 
 # collectives regenerates only BENCH_collectives.json (spanning-tree vs flat
 # broadcast+reduce; see EXPERIMENTS.md §collectives for the protocol).

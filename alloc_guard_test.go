@@ -3,6 +3,8 @@ package charmgo_test
 import (
 	"testing"
 
+	"charmgo/internal/bench"
+	"charmgo/internal/core"
 	"charmgo/internal/transport"
 )
 
@@ -22,5 +24,47 @@ func TestRemoteInvokeAllocGuard(t *testing.T) {
 	})
 	if a := res.AllocsPerOp(); a > 4 {
 		t.Errorf("remote invoke with observability off = %d allocs/op, want <= 4", a)
+	}
+}
+
+// TestGeneratedDispatchAllocGuard pins the generated-binding hot path: with
+// bindings attached, a dynamic-mode in-node invoke is the caller's variadic
+// args slice plus the Message — no reflect.Value boxing, no MethodByName, no
+// coercion (the reflective dynamic path costs 7). A regression here means
+// reflection leaked back into the bound dispatch path.
+func TestGeneratedDispatchAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard, skipped in -short")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		benchDispatch(b, core.Config{PEs: 2, Dispatch: core.DynamicDispatch},
+			genProto, "Ping", 1)
+	})
+	if a := res.AllocsPerOp(); a > 3 {
+		t.Errorf("generated dynamic dispatch = %d allocs/op, want <= 3 (reflection leak?)", a)
+	}
+}
+
+// TestGeneratedCodecAllocGuard pins the serialized struct-argument path: the
+// generated flat codec writes three fixed-width fields where the fallback
+// runs a full gob encoder/decoder pair per message (~200 allocs). The bound
+// proves gob is off the generated wire path; the differential proves the
+// baseline still exercises gob (i.e. the guard itself is live).
+func TestGeneratedCodecAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard, skipped in -short")
+	}
+	serialized := core.Config{PEs: 2, Dispatch: core.DynamicDispatch, ForceSerialize: true}
+	gen := testing.Benchmark(func(b *testing.B) {
+		benchDispatch(b, serialized, genProto, "PingVec", bench.Vec3{X: 1})
+	})
+	ref := testing.Benchmark(func(b *testing.B) {
+		benchDispatch(b, serialized, reflectProto, "PingVec", vecReflect{X: 1})
+	})
+	if a := gen.AllocsPerOp(); a > 8 {
+		t.Errorf("generated serialized struct invoke = %d allocs/op, want <= 8 (gob leak?)", a)
+	}
+	if g, r := gen.AllocsPerOp(), ref.AllocsPerOp(); r < 3*g {
+		t.Errorf("gob baseline = %d allocs/op vs generated %d: differential collapsed, guard no longer measures the fallback", r, g)
 	}
 }

@@ -1,0 +1,205 @@
+// Dispatchbench measures the remote-invoke hot path across the dispatch
+// ablation axes (DESIGN.md §codegen, EXPERIMENTS.md §dispatch): a flood of
+// fine-grained invokes from node 0 to a chare on node 1, in three dispatch
+// variants × two transports × two argument shapes. It writes the
+// machine-readable results to BENCH_dispatch.json so the committed numbers
+// can be regenerated with `make bench/dispatch`.
+//
+// Variants:
+//
+//   - dynamic:   CharmPy-style by-name dispatch, bindings disabled —
+//     MethodByName + reflect.Call per message
+//   - static:    Charm++-style method-id dispatch, bindings disabled —
+//     precompiled method table, still reflect.Call
+//   - generated: `charmgo gen` bindings attached — typed switch dispatch and
+//     direct typed codecs, zero reflection on the hot path
+//
+// All three run the same chare (internal/bench.Ping) on the same wire
+// format; Config.DisableGenerated is the only switch. Note the struct rows
+// isolate dispatch plus typed-codec wiring, not the gob fallback: the flat
+// codec registered by the package's charmgo_gen.go init serves the generic
+// encoder too (that byte-identity is what lets bound and unbound peers
+// interoperate). The gob-vs-flat codec gap is pinned separately by
+// BenchmarkDispatchStructSerializedReflect and TestGeneratedCodecAllocGuard
+// at the repository root (~200 vs 5 allocs per message).
+//
+//	go run ./cmd/dispatchbench                  # table + BENCH_dispatch.json
+//	go run ./cmd/dispatchbench -msgs 30000 -o out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"charmgo"
+	"charmgo/internal/bench"
+	"charmgo/internal/core"
+	"charmgo/internal/ser"
+	"charmgo/internal/transport"
+)
+
+// result is one (variant, transport, argument-shape) measurement.
+type result struct {
+	Variant   string  `json:"variant"`   // "dynamic", "static", "generated"
+	Transport string  `json:"transport"` // "mem" or "tcp"
+	Arg       string  `json:"arg"`       // "int" or "struct"
+	Msgs      int     `json:"msgs"`
+	NsPerMsg  float64 `json:"ns_per_msg"`
+	MsgsPerS  float64 `json:"msgs_per_sec"`
+}
+
+// report is the BENCH_dispatch.json document.
+type report struct {
+	Benchmark string   `json:"benchmark"`
+	GoVersion string   `json:"go_version"`
+	NumCPU    int      `json:"num_cpu"`
+	Results   []result `json:"results"`
+}
+
+type variant struct {
+	name string
+	cfg  core.Config
+}
+
+func variants() []variant {
+	return []variant{
+		{"dynamic", core.Config{PEs: 1, Dispatch: core.DynamicDispatch, DisableGenerated: true}},
+		{"static", core.Config{PEs: 1, Dispatch: core.StaticDispatch, DisableGenerated: true}},
+		{"generated", core.Config{PEs: 1, Dispatch: core.DynamicDispatch}},
+	}
+}
+
+// pair builds the two-node transport pair for kind ("mem" or "tcp").
+func pair(kind string, basePort int) ([]transport.Transport, error) {
+	if kind == "mem" {
+		nw := transport.NewMemNetwork(2)
+		return []transport.Transport{nw.Endpoint(0), nw.Endpoint(1)}, nil
+	}
+	addrs := []string{
+		fmt.Sprintf("127.0.0.1:%d", basePort),
+		fmt.Sprintf("127.0.0.1:%d", basePort+1),
+	}
+	out := make([]transport.Transport, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = transport.NewTCP(i, addrs)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runOne floods msgs invokes of method/arg at a chare on node 1 and returns
+// the sustained rate. The Count barrier at the end guarantees every message
+// was dispatched before the clock stops.
+func runOne(v variant, trKind string, basePort, msgs int, method string, arg any) (result, error) {
+	trs, err := pair(trKind, basePort)
+	if err != nil {
+		return result{}, err
+	}
+	rts := make([]*core.Runtime, 2)
+	for i := range rts {
+		cfg := v.cfg
+		cfg.Transport = trs[i]
+		rts[i] = core.NewRuntime(cfg)
+		rts[i].Register(&bench.Ping{})
+	}
+	res := result{Variant: v.name, Transport: trKind, Arg: "int", Msgs: msgs}
+	if method == "PingVec" {
+		res.Arg = "struct"
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rts[1].Start(nil)
+	}()
+	rts[0].Start(func(self *charmgo.Chare) {
+		defer self.Exit()
+		p := self.NewChare(&bench.Ping{}, charmgo.PE(1))
+		w := self.CreateFuture()
+		p.Call("Count", w) // warm up + synchronize
+		w.Get()
+		start := time.Now()
+		for i := 0; i < msgs; i++ {
+			p.Call(method, arg)
+		}
+		f := self.CreateFuture()
+		p.Call("Count", f)
+		if got := f.Get(); got != msgs {
+			panic(fmt.Sprintf("dispatchbench: count = %v, want %d", got, msgs))
+		}
+		elapsed := time.Since(start)
+		res.NsPerMsg = float64(elapsed.Nanoseconds()) / float64(msgs)
+		res.MsgsPerS = float64(msgs) / elapsed.Seconds()
+	})
+	wg.Wait()
+	for _, tr := range trs {
+		tr.Close()
+	}
+	return res, nil
+}
+
+func main() {
+	msgs := flag.Int("msgs", 20000, "messages per configuration")
+	out := flag.String("o", "BENCH_dispatch.json", "output file ('' = stdout table only)")
+	basePort := flag.Int("baseport", 42300, "first TCP port for the tcp transport pairs")
+	flag.Parse()
+
+	// The struct argument's gob fallback needs a registration, exactly as an
+	// unbound application would have.
+	ser.RegisterType(bench.Vec3{})
+
+	rep := report{
+		Benchmark: "remote invoke flood, node 0 -> node 1, dispatch ablation",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	fmt.Printf("%-10s %-5s %-7s %10s %12s %14s\n",
+		"variant", "net", "arg", "msgs", "ns/msg", "msg/s")
+	port := *basePort
+	for _, trKind := range []string{"mem", "tcp"} {
+		for _, shape := range []struct {
+			method string
+			arg    any
+		}{{"Ping", 1}, {"PingVec", bench.Vec3{X: 1}}} {
+			for _, v := range variants() {
+				r, err := runOne(v, trKind, port, *msgs, shape.method, shape.arg)
+				port += 2
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "dispatchbench:", err)
+					os.Exit(1)
+				}
+				rep.Results = append(rep.Results, r)
+				fmt.Printf("%-10s %-5s %-7s %10d %12.1f %14.1f\n",
+					r.Variant, r.Transport, r.Arg, r.Msgs, r.NsPerMsg, r.MsgsPerS)
+			}
+		}
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dispatchbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dispatchbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}

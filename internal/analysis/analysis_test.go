@@ -25,6 +25,7 @@ func TestFixtures(t *testing.T) {
 		{"noblock", []*Analyzer{NoBlock}},
 		{"tracehook", []*Analyzer{TraceHook}},
 		{"sendown", []*Analyzer{SendOwn}},
+		{"genfresh", []*Analyzer{GenFresh}},
 		{"clean", All},
 	}
 

@@ -7,6 +7,7 @@ var All = []*Analyzer{
 	NoBlock,
 	TraceHook,
 	SendOwn,
+	GenFresh,
 }
 
 // ByName returns the analyzer with the given name, or nil.

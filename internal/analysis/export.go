@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ChareInfo describes one chare class defined in a package: the named struct
+// type and its entry methods in registration order (sorted by name, so the
+// slice index equals the runtime's method id). It is the shared vocabulary
+// between the `charmgo gen` code generator and the genfresh vet rule.
+type ChareInfo struct {
+	Named   *types.Named
+	Methods []*types.Func
+}
+
+// Name returns the chare struct's type name.
+func (ci ChareInfo) Name() string { return ci.Named.Obj().Name() }
+
+// MethodNames returns the sorted entry-method names (index == method id).
+func (ci ChareInfo) MethodNames() []string {
+	out := make([]string, len(ci.Methods))
+	for i, fn := range ci.Methods {
+		out[i] = fn.Name()
+	}
+	return out
+}
+
+// Chares returns the chare classes whose type is defined in pkg, sorted by
+// type name. Entry methods are taken from the full method set of *T — the
+// same view reflection gives the runtime registry — so methods promoted from
+// embedded structs in other packages are included.
+func Chares(pkg *Package) []ChareInfo { return charesOf(pkg.Types) }
+
+func charesOf(tp *types.Package) []ChareInfo {
+	scope := tp.Scope()
+	var out []ChareInfo
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || !isChareStruct(named) {
+			continue
+		}
+		ci := ChareInfo{Named: named}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		for i := 0; i < ms.Len(); i++ {
+			fn := ms.At(i).Obj().(*types.Func)
+			if !fn.Exported() || isBaseMethod(named, fn.Name()) {
+				continue
+			}
+			ci.Methods = append(ci.Methods, fn)
+		}
+		sort.Slice(ci.Methods, func(a, b int) bool {
+			return ci.Methods[a].Name() < ci.Methods[b].Name()
+		})
+		out = append(out, ci)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name() < out[b].Name() })
+	return out
+}
+
+// Manifest renders the chare's entry-method set in the canonical form
+// embedded as a "// charmgo:manifest" comment in generated files:
+//
+//	TypeName Method(paramtype,...);Method2(...)
+//
+// Parameter types print fully qualified (types.TypeString with nil
+// qualifier), so the string changes exactly when the registered signature
+// set changes. Both the generator and the genfresh analyzer derive it with
+// this function, which is what makes drift detection a pure string compare.
+func Manifest(ci ChareInfo) string {
+	var sb strings.Builder
+	sb.WriteString(ci.Name())
+	sb.WriteByte(' ')
+	for i, fn := range ci.Methods {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(fn.Name())
+		sb.WriteByte('(')
+		sig := fn.Type().(*types.Signature)
+		for p := 0; p < sig.Params().Len(); p++ {
+			if p > 0 {
+				sb.WriteByte(',')
+			}
+			t := types.TypeString(sig.Params().At(p).Type(), nil)
+			if sig.Variadic() && p == sig.Params().Len()-1 {
+				t = "..." + strings.TrimPrefix(t, "[]")
+			}
+			sb.WriteString(t)
+		}
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}
+
+// ManifestPrefix is the comment marker generated files carry, one line per
+// chare type, e.g. "// charmgo:manifest Cell Init(...);..."
+const ManifestPrefix = "charmgo:manifest "
+
+// ParseManifest extracts the type name and method-set string from a manifest
+// comment's text (with the marker already stripped or not).
+func ParseManifest(text string) (typeName, manifest string, ok bool) {
+	text = strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	text = strings.TrimPrefix(text, ManifestPrefix)
+	name, _, found := strings.Cut(text, " ")
+	if !found || name == "" {
+		return "", "", false
+	}
+	return name, text, true
+}
+
+// IsManifestComment reports whether a comment line carries a manifest.
+func IsManifestComment(text string) bool {
+	return strings.Contains(text, ManifestPrefix)
+}
+
+// CorePkgPath exposes the runtime package path ("charmgo/internal/core") for
+// tools that need to qualify core types in generated code.
+const CorePkgPath = corePkgPath

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+)
+
+// GenFileName is the binding file `charmgo gen` writes into each chare
+// package. Defined here (rather than in internal/gen, which imports this
+// package) so the genfresh analyzer and the generator share one constant.
+const GenFileName = "charmgo_gen.go"
+
+// GenFresh checks that a package's committed charmgo_gen.go bindings match
+// its current entry-method sets. Generated bindings carry one
+// "charmgo:manifest" comment per chare type — the canonical rendering of the
+// sorted entry-method signatures (export.go's Manifest). The runtime
+// cross-checks method NAMES at Register and panics on drift, but a changed
+// parameter type with an unchanged name sails through registration and only
+// surfaces as a silent fallback to the reflect/gob slow path (the typed
+// codec declines, correctness holds, the performance win quietly evaporates).
+// This rule makes any drift — renamed, added, or removed methods, changed
+// signatures, deleted chare types — a vet error pointing at the type that
+// changed, before it costs a debugging session.
+//
+// Packages without a charmgo_gen.go are skipped: bindings are an opt-in
+// acceleration (the runtime package itself deliberately has none), and
+// `charmgo gen -check` already polices missing files at the build level.
+var GenFresh = &Analyzer{
+	Name: "genfresh",
+	Doc: "committed charmgo_gen.go bindings must match the package's current " +
+		"entry-method sets; stale bindings silently fall back to reflection/gob",
+	Run: runGenFresh,
+}
+
+func runGenFresh(pass *Pass) {
+	type mf struct {
+		manifest string
+		pos      token.Pos
+	}
+	manifests := map[string]mf{}
+	var genFilePos token.Pos
+	haveGenFile := false
+	for _, f := range pass.Files {
+		if filepath.Base(pass.Fset.Position(f.Package).Filename) != GenFileName {
+			continue
+		}
+		haveGenFile = true
+		genFilePos = f.Package
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !IsManifestComment(c.Text) {
+					continue
+				}
+				if name, m, ok := ParseManifest(c.Text); ok {
+					manifests[name] = mf{m, c.Pos()}
+				}
+			}
+		}
+	}
+	if !haveGenFile {
+		return
+	}
+
+	seen := map[string]bool{}
+	for _, ci := range charesOf(pass.Pkg) {
+		seen[ci.Name()] = true
+		got, ok := manifests[ci.Name()]
+		if !ok {
+			pass.Reportf(ci.Named.Obj().Pos(),
+				"chare %s has no bindings in %s (dispatch falls back to reflection); run `make gen`",
+				ci.Name(), GenFileName)
+			continue
+		}
+		if want := Manifest(ci); got.manifest != want {
+			pass.Reportf(ci.Named.Obj().Pos(),
+				"generated bindings for %s are stale: entry-method set drifted from %s; run `make gen`",
+				ci.Name(), GenFileName)
+		}
+	}
+	for name := range manifests {
+		if !seen[name] {
+			// The manifest comment itself cannot host a fixture annotation, so
+			// orphans report at the generated file's package clause.
+			pass.Reportf(genFilePos,
+				"%s has orphaned bindings for %s: no such chare type in this package; run `make gen`",
+				GenFileName, name)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package genfresh exercises charmvet's genfresh rule. The committed (fake)
+// charmgo_gen.go carries manifests for Fresh (current), Stale (signature
+// drifted after generation), and Gone (the chare type was deleted); Added
+// gained bindings never generated at all.
+package genfresh
+
+import "charmgo/internal/core"
+
+// Fresh matches its manifest exactly.
+type Fresh struct{ core.Chare }
+
+func (f *Fresh) Tick(n int) {}
+
+// Stale's Run signature changed (gained a float64) after generation.
+type Stale struct{ core.Chare } // want `generated bindings for Stale are stale`
+
+func (s *Stale) Run(x int, y float64) {}
+
+// Added has no manifest line at all.
+type Added struct{ core.Chare } // want `chare Added has no bindings in charmgo_gen.go`
+
+func (a *Added) Go() {}
+
+// Quiet drifted too, but the author suppressed the finding.
+//
+//charmvet:ignore genfresh
+type Quiet struct{ core.Chare }
+
+func (q *Quiet) Poke(s string) {}

@@ -35,8 +35,9 @@ type rtMetrics struct {
 	decodeHot *metrics.Counter // custom-codec frames (mInvoke/mFutureSet)
 	decodeGob *metrics.Counter // gob-fallback control frames
 
-	dispatchStatic  *metrics.Counter
-	dispatchDynamic *metrics.Counter
+	dispatchStatic    *metrics.Counter
+	dispatchDynamic   *metrics.Counter
+	dispatchGenerated *metrics.Counter
 
 	peRecvs []*metrics.Counter // per local PE: messages dequeued
 	peEMs   []*metrics.Counter // per local PE: entry methods executed
@@ -70,6 +71,8 @@ func newRTMetrics(rt *Runtime, reg *metrics.Registry) *rtMetrics {
 			"entry methods dispatched via method table / FastDispatcher"),
 		dispatchDynamic: reg.Counter("charmgo_dispatch_dynamic_total",
 			"entry methods dispatched via reflective name lookup"),
+		dispatchGenerated: reg.Counter("charmgo_dispatch_generated_total",
+			"entry methods dispatched via generated typed bindings"),
 		ftSnapshots: reg.Counter("charmgo_ft_snapshots_total",
 			"in-memory checkpoint snapshots taken by this node"),
 		ftSnapshotBytes: reg.Counter("charmgo_ft_snapshot_bytes_total",

@@ -615,11 +615,24 @@ func (p *peState) invokeEMInner(el *element, info *emInfo, m *Message) {
 	}
 }
 
-// callEM performs the actual call. In StaticDispatch mode it goes through a
-// FastDispatcher or the precomputed method table; in DynamicDispatch mode it
-// performs a per-call reflective name lookup with permissive argument
-// coercion, modelling interpreted dispatch (DESIGN.md).
+// callEM performs the actual call. Chare types with generated bindings
+// (charmgo_gen.go) dispatch through a typed switch with zero reflection in
+// either mode — the paper's generated-stub upgrade path. Otherwise, in
+// StaticDispatch mode the call goes through a FastDispatcher or the
+// precomputed method table; in DynamicDispatch mode it performs a per-call
+// reflective name lookup with permissive argument coercion, modelling
+// interpreted dispatch (DESIGN.md).
 func (p *peState) callEM(el *element, info *emInfo, args []any) any {
+	if g := el.coll.ct.gen; g != nil {
+		if ret, ok := g.Dispatch(el.iface, int(info.id), args); ok {
+			if met := p.rt.met; met != nil {
+				met.dispatchGenerated.Inc()
+			}
+			return ret
+		}
+		// Declined: an argument needs coercion (e.g. a dynamic caller passed
+		// an int where the method takes float64). Fall through to reflection.
+	}
 	if p.rt.cfg.Dispatch == StaticDispatch {
 		if met := p.rt.met; met != nil {
 			met.dispatchStatic.Inc()

@@ -106,15 +106,20 @@ func (pr Proxy) invoke(method string, args []any, fut FutureRef) {
 	if pr.p != nil {
 		m.Src = pr.p.pe
 	}
-	if rt.cfg.Dispatch == StaticDispatch {
-		// meta.ct was resolved once at collection creation; no registry lock
-		// on the per-message path.
-		if meta := rt.collMeta(pr.CID); meta != nil && meta.ct != nil {
-			if info, ok := meta.ct.byName[method]; ok {
+	// meta.ct was resolved once at collection creation; no registry lock on
+	// the per-message path. Static mode always resolves the method id at send
+	// time; dynamic mode ships the name — unless the type has generated
+	// bindings, in which case it upgrades to id-based dispatch and typed
+	// codecs (the paper's generated-stub path), keeping the reflective
+	// name-lookup fallback for unbound types.
+	if meta := rt.collMeta(pr.CID); meta != nil && meta.ct != nil {
+		if info, ok := meta.ct.byName[method]; ok {
+			if rt.cfg.Dispatch == StaticDispatch || meta.ct.gen != nil {
 				m.MID = info.id
-			} else {
-				panic(fmt.Sprintf("core: chare type %s has no entry method %q", meta.Type, method))
+				m.gen = meta.ct.gen
 			}
+		} else if rt.cfg.Dispatch == StaticDispatch {
+			panic(fmt.Sprintf("core: chare type %s has no entry method %q", meta.Type, method))
 		}
 	}
 	if pr.Elem == nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"reflect"
+	"slices"
 	"sort"
 
 	"charmgo/internal/expr"
@@ -55,8 +56,9 @@ type chareType struct {
 	rtype     reflect.Type // the struct type (not pointer)
 	methods   []*emInfo    // sorted by name; index == method id
 	byName    map[string]*emInfo
-	fast      bool // implements FastDispatcher
-	hasResume bool // has a ResumeFromSync entry method
+	fast      bool        // implements FastDispatcher
+	hasResume bool        // has a ResumeFromSync entry method
+	gen       *GenBinding // generated dispatch/codec bindings, if any
 }
 
 // RegOpt configures chare type registration.
@@ -167,6 +169,21 @@ func (rt *Runtime) Register(proto Chareable, opts ...RegOpt) string {
 		ct.byName[mn] = info
 		if mn == "ResumeFromSync" {
 			ct.hasResume = true
+		}
+	}
+	// Attach generated bindings (charmgo_gen.go) if the package registered
+	// any for this type. The binding's method list must match the reflected
+	// entry-method set exactly — ids are positional — so drift between the
+	// source and a stale generated file is a startup panic, not silent
+	// misdispatch. Config.DisableGenerated skips attachment (ablation runs),
+	// but the staleness check still applies when bindings exist.
+	if g := genBindingFor(st.PkgPath() + "." + name); g != nil {
+		if !slices.Equal(g.Methods, names) {
+			panic(fmt.Sprintf("core: generated bindings for %s are stale (generated for %v, source has %v); run `make gen`",
+				name, g.Methods, names))
+		}
+		if !rt.cfg.DisableGenerated {
+			ct.gen = g
 		}
 	}
 	for mn := range o.whens {

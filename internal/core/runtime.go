@@ -91,6 +91,12 @@ type Config struct {
 	// value disables the tree (flat collectives, every peer messaged
 	// directly from the source/root).
 	TreeArity int
+	// DisableGenerated ignores `charmgo gen` bindings at Register, forcing
+	// the reflect/gob fallback for every chare type. The wire format is
+	// unchanged (bound and unbound peers interoperate), so this is the
+	// ablation switch: the same program measured with and without typed
+	// dispatch/codecs (cmd/dispatchbench, BENCH_dispatch.json).
+	DisableGenerated bool
 	// FT, when non-nil, enables in-memory double checkpointing (see ft.go
 	// and internal/ft): Chare.FTCheckpoint ships each node's snapshot to its
 	// buddy through this store, and RestartFromMemory restores a failed
@@ -333,7 +339,7 @@ func (rt *Runtime) send(pe PE, m *Message) {
 	if rt.isLocal(pe) {
 		if rt.cfg.ForceSerialize && serializableKind(m.Kind) {
 			frame := appendMsg(transport.GetBuf(), pe, m, rt.wt)
-			_, m2, err := decodeMsgWT(frame[transport.PrefixLen:], rt.wt)
+			_, m2, err := rt.decodeFrame(frame[transport.PrefixLen:])
 			transport.PutBuf(frame)
 			if err != nil {
 				panic("core: ForceSerialize roundtrip: " + err.Error())
@@ -601,7 +607,7 @@ func (rt *Runtime) onBatch(from int, body []byte) {
 // when the message is a unicast for a local PE (the caller enqueues it), and
 // handles every other case itself.
 func (rt *Runtime) ingress(from int, frame []byte) (*Message, PE, bool) {
-	dest, m, err := decodeMsgWT(frame, rt.wt)
+	dest, m, err := rt.decodeFrame(frame)
 	if err != nil {
 		panic(fmt.Sprintf("core: bad frame from node %d: %v", from, err))
 	}

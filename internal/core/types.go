@@ -201,6 +201,12 @@ type Message struct {
 	// the last PE runs the release hook. Unexported: node-local, never
 	// serialized.
 	shared *msgShared
+
+	// gen carries the destination chare type's generated bindings, resolved
+	// once at send time (proxy.invoke) so appendMsg can encode Args through
+	// the typed generated encoder instead of the reflective generic one.
+	// Unexported: node-local, never serialized.
+	gen *GenBinding
 }
 
 func (m *Message) String() string {

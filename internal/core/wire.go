@@ -121,6 +121,15 @@ func appendMsg(dst []byte, dest PE, m *Message, wt *wireTables) []byte {
 		dst = binary.AppendVarint(dst, m.Fut.ID)
 		dst = appendMethod(dst, m.Method, wt)
 		dst = appendIdx(dst, m.Idx)
+		// Generated typed encoder when the send path resolved one; it is
+		// byte-identical with ser.AppendArgs, so receivers decode either way.
+		if m.gen != nil && m.MID >= 0 && int(m.MID) < len(m.gen.Enc) {
+			if enc := m.gen.Enc[m.MID]; enc != nil {
+				if out, ok := enc(dst, m.Args); ok {
+					return out
+				}
+			}
+		}
 		var err error
 		if dst, err = ser.AppendArgs(dst, m.Args); err != nil {
 			panic(fmt.Sprintf("core: cannot serialize arguments of %s: %v", m.Method, err))
@@ -178,7 +187,7 @@ func decodeMsg(frame []byte) (PE, *Message, error) {
 }
 
 func decodeMsgWT(frame []byte, wt *wireTables) (PE, *Message, error) {
-	return decodeMsgFull(frame, wt, false)
+	return decodeMsgFull(frame, wt, false, nil)
 }
 
 // decodeMsgOwned decodes a frame the caller owns outright and keeps
@@ -187,10 +196,22 @@ func decodeMsgWT(frame []byte, wt *wireTables) (PE, *Message, error) {
 // broadcasts use it — their buffer is garbage-collected, so the decoded
 // message is the only payload copy the node ever makes.
 func decodeMsgOwned(frame []byte, wt *wireTables) (PE, *Message, error) {
-	return decodeMsgFull(frame, wt, true)
+	return decodeMsgFull(frame, wt, true, nil)
 }
 
-func decodeMsgFull(frame []byte, wt *wireTables, alias bool) (PE, *Message, error) {
+// decodeFrame / decodeFrameOwned are the runtime's ingress decoders: they
+// additionally resolve generated bindings for invoke frames, so argument
+// lists of bound chare types decode through typed generated readers instead
+// of the reflective generic decoder.
+func (rt *Runtime) decodeFrame(frame []byte) (PE, *Message, error) {
+	return decodeMsgFull(frame, rt.wt, false, rt)
+}
+
+func (rt *Runtime) decodeFrameOwned(frame []byte) (PE, *Message, error) {
+	return decodeMsgFull(frame, rt.wt, true, rt)
+}
+
+func decodeMsgFull(frame []byte, wt *wireTables, alias bool, rt *Runtime) (PE, *Message, error) {
 	if len(frame) < 5 {
 		return 0, nil, fmt.Errorf("short frame (%d bytes)", len(frame))
 	}
@@ -216,11 +237,26 @@ func decodeMsgFull(frame []byte, wt *wireTables, alias bool) (PE, *Message, erro
 		if r.err != nil {
 			return 0, nil, r.err
 		}
+		rest := r.rest()
+		// Typed generated decoder for bound chare types (byte-identical
+		// format). A decline — signature drift, hand-built frame — falls
+		// through to the generic decoder, which also reports any real error.
+		if rt != nil && m.MID >= 0 {
+			if meta := rt.collMeta(m.CID); meta != nil && meta.ct != nil && meta.ct.gen != nil {
+				g := meta.ct.gen
+				if int(m.MID) < len(g.Dec) && g.Dec[m.MID] != nil {
+					if args, _, ok := g.Dec[m.MID](rest, alias); ok {
+						m.Args = args
+						return dest, m, nil
+					}
+				}
+			}
+		}
 		decode := ser.DecodeArgs
 		if alias {
 			decode = ser.DecodeArgsAlias
 		}
-		args, _, err := decode(r.rest())
+		args, _, err := decode(rest)
 		if err != nil {
 			return 0, nil, fmt.Errorf("invoke args: %w", err)
 		}

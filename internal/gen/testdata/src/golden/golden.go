@@ -1,0 +1,49 @@
+// Package golden is the generator's golden-file fixture: chare types whose
+// entry methods cover the full codec-kind matrix — typed scalars and slices,
+// core.Proxy/core.Future references, flat structs (nested, with unexported
+// fields), untyped interface{} passthrough, gob-fallback types, a returning
+// method, and a variadic method (not dispatchable, codec only).
+package golden
+
+import "charmgo/internal/core"
+
+// Params exercises the flat struct codec, including an unexported field
+// (generated same-package codecs carry it; gob would drop it).
+type Params struct {
+	N     int
+	Scale float64
+	Name  string
+	Grid  []int
+	seed  int64
+}
+
+// Vec nests one flat struct inside another.
+type Vec struct {
+	Xs  []float64
+	Tag Params
+}
+
+// Labels is a named slice: kept on the generic path (named types encode
+// under their own identity).
+type Labels []string
+
+// Node is the fixture chare.
+type Node struct {
+	core.Chare
+	Total int
+}
+
+func (n *Node) Scalars(b bool, i int, i64 int64, f float64, s string) {}
+
+func (n *Node) Slices(bs []byte, fs []float64, f32s []float32, i64s []int64, i32s []int32, is []int) {
+}
+
+func (n *Node) Refs(p core.Proxy, f core.Future) {}
+
+func (n *Node) Structs(p Params, v Vec) {}
+
+func (n *Node) Mixed(m map[string]int, x any, ls Labels) {}
+
+func (n *Node) Ret(x int) int { return x + n.Total }
+
+func (n *Node) Variadic(xs ...int) {}

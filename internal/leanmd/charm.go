@@ -3,7 +3,6 @@ package leanmd
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"charmgo/internal/core"
@@ -40,14 +39,9 @@ type Compute struct {
 	XB    []float64
 }
 
-var mdMID struct {
-	once                                       sync.Once
-	cellInit, cellStart, recvForces, recvAtoms int
-	cellSummary, cellResume                    int
-	compInit, recvCoords                       int
-}
-
-// Register registers LeanMD chare types with a runtime.
+// Register registers LeanMD chare types with a runtime. Typed dispatch and
+// argument codecs come from the generated bindings (charmgo_gen.go), which
+// replaced the hand-written FastDispatcher switches.
 func Register(rt *core.Runtime) {
 	ser.RegisterType(Params{})
 	rt.Register(&Cell{},
@@ -60,48 +54,6 @@ func Register(rt *core.Runtime) {
 		core.When("RecvCoords", "self.step == step"),
 		core.ArgNames("RecvCoords", "step", "which", "xs"),
 	)
-	mdMID.once.Do(func() {
-		mdMID.cellInit = rt.MethodID("Cell", "Init")
-		mdMID.cellStart = rt.MethodID("Cell", "Start")
-		mdMID.recvForces = rt.MethodID("Cell", "RecvForces")
-		mdMID.recvAtoms = rt.MethodID("Cell", "RecvAtoms")
-		mdMID.cellSummary = rt.MethodID("Cell", "ReportSummary")
-		mdMID.cellResume = rt.MethodID("Cell", "ResumeFromSync")
-		mdMID.compInit = rt.MethodID("Compute", "Init")
-		mdMID.recvCoords = rt.MethodID("Compute", "RecvCoords")
-	})
-}
-
-// DispatchEM implements core.FastDispatcher for Cell.
-func (c *Cell) DispatchEM(id int, args []any) {
-	switch id {
-	case mdMID.recvForces:
-		c.RecvForces(args[0].(int), args[1].([]float64))
-	case mdMID.recvAtoms:
-		c.RecvAtoms(args[0].(int), args[1].([]float64), args[2].([]float64))
-	case mdMID.cellInit:
-		c.Init(args[0].(Params))
-	case mdMID.cellStart:
-		c.Start(args[0].(core.Proxy), args[1].(core.Future))
-	case mdMID.cellSummary:
-		c.ReportSummary()
-	case mdMID.cellResume:
-		c.ResumeFromSync()
-	default:
-		panic(fmt.Sprintf("leanmd: Cell: unknown method id %d", id))
-	}
-}
-
-// DispatchEM implements core.FastDispatcher for Compute.
-func (k *Compute) DispatchEM(id int, args []any) {
-	switch id {
-	case mdMID.recvCoords:
-		k.RecvCoords(args[0].(int), args[1].(int), args[2].([]float64))
-	case mdMID.compInit:
-		k.Init(args[0].(Params), args[1].(core.Proxy))
-	default:
-		panic(fmt.Sprintf("leanmd: Compute: unknown method id %d", id))
-	}
 }
 
 // cellKey orders cell indices lexicographically.

@@ -1,0 +1,686 @@
+// Flat struct codecs: the generated, reflection-free alternative to the gob
+// fallback. `charmgo gen` emits a pair of encode/decode functions for each
+// struct that appears in an entry-method signature and registers them here.
+// Once registered, the *generic* path (AppendArgs/DecodeArgs) also routes
+// values of that type through the flat codec instead of gob, so generated and
+// generic encoders stay byte-identical on the wire — a node running generated
+// bindings interoperates with one that only has the generic path, and the
+// differential fuzzer can assert equality directly.
+//
+// Wire format of a flat value:
+//
+//	tagFlat, uvarint(len(name)), name, then the struct's exported fields
+//	encoded as an ordinary argument list (uvarint field count + tagged
+//	values). Slice-typed fields preserve nil-ness with an explicit tagNil,
+//	matching gob's behavior for struct fields.
+//
+// The type name travels on the wire (like gob's registered names) so decode
+// needs no out-of-band id agreement; names are the generator's package import
+// path plus the type name, unique within a binary.
+package ser
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+)
+
+// tagFlat continues the tag sequence in ser.go (tagGob is 13).
+const tagFlat byte = 14
+
+// maxFlatDepth bounds flat-in-flat nesting on decode so a hostile frame
+// cannot recurse arbitrarily deep through tiny nested headers.
+const maxFlatDepth = 32
+
+// FlatEncoder appends the flat field list (count + tagged fields, *without*
+// the tagFlat+name header) for v and reports whether it handled the value.
+// On false it must return dst unmodified.
+type FlatEncoder func(dst []byte, v any) ([]byte, bool)
+
+// FlatDecoder reads the flat field list from d and returns the decoded value.
+// On failure it returns ok=false (d records the detailed error).
+type FlatDecoder func(d *Dec) (any, bool)
+
+type flatCodec struct {
+	name string
+	enc  FlatEncoder
+	dec  FlatDecoder
+}
+
+var (
+	flatByType sync.Map // reflect.Type -> *flatCodec
+	flatByName sync.Map // string -> *flatCodec
+)
+
+// RegisterFlat installs a generated flat codec for the concrete type of
+// sample under the given wire name. Duplicate registration of the same name
+// panics: each generated package registers exactly once from init(), so a
+// duplicate means two packages chose colliding names.
+func RegisterFlat(name string, sample any, enc FlatEncoder, dec FlatDecoder) {
+	c := &flatCodec{name: name, enc: enc, dec: dec}
+	rt := reflect.TypeOf(sample)
+	if _, dup := flatByName.LoadOrStore(name, c); dup {
+		panic(fmt.Sprintf("ser: duplicate flat codec name %q", name))
+	}
+	flatByType.Store(rt, c)
+}
+
+// HasFlat reports whether a flat codec is registered for the concrete type
+// of v. Exposed for tests and the differential fuzzer.
+func HasFlat(v any) bool {
+	_, ok := flatByType.Load(reflect.TypeOf(v))
+	return ok
+}
+
+// appendFlat encodes v through its registered flat codec, header included.
+// ok=false (no codec, or codec declined) leaves dst unmodified so the caller
+// can fall back to gob.
+func appendFlat(dst []byte, v any) ([]byte, bool) {
+	ci, ok := flatByType.Load(reflect.TypeOf(v))
+	if !ok {
+		return dst, false
+	}
+	c := ci.(*flatCodec)
+	mark := len(dst)
+	dst = append(dst, tagFlat)
+	dst = binary.AppendUvarint(dst, uint64(len(c.name)))
+	dst = append(dst, c.name...)
+	out, ok := c.enc(dst, v)
+	if !ok {
+		return dst[:mark], false
+	}
+	return out, true
+}
+
+// decodeFlat decodes a flat value; data starts just past the tagFlat byte.
+// Returns the value and bytes consumed (excluding the tag byte).
+func decodeFlat(data []byte, alias bool, depth int) (any, int, error) {
+	if depth > maxFlatDepth {
+		return nil, 0, fmt.Errorf("flat value nested deeper than %d", maxFlatDepth)
+	}
+	l, n := binary.Uvarint(data)
+	if n <= 0 || l > uint64(len(data)-n) {
+		return nil, 0, fmt.Errorf("bad flat type name length")
+	}
+	name := string(data[n : n+int(l)])
+	pos := n + int(l)
+	ci, ok := flatByName.Load(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("no flat codec registered for %q", name)
+	}
+	d := Dec{data: data[pos:], alias: alias, depth: depth}
+	v, ok := ci.(*flatCodec).dec(&d)
+	if !ok {
+		if d.err == nil {
+			d.err = fmt.Errorf("flat decode of %q failed", name)
+		}
+		return nil, 0, fmt.Errorf("flat %q: %w", name, d.err)
+	}
+	return v, pos + d.pos, nil
+}
+
+// ---------------------------------------------------------------------------
+// Typed appenders. Each writes exactly the bytes appendOne writes for the
+// same value, so generated per-signature encoders are byte-identical with the
+// generic AppendArgs path. AppendCount writes the leading argument/field
+// count.
+// ---------------------------------------------------------------------------
+
+// AppendCount appends the uvarint argument (or flat field) count.
+func AppendCount(dst []byte, n int) []byte {
+	return binary.AppendUvarint(dst, uint64(n))
+}
+
+// AppendNil appends an explicit nil argument.
+func AppendNil(dst []byte) []byte { return append(dst, tagNil) }
+
+// AppendBool appends a bool argument.
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, tagTrue)
+	}
+	return append(dst, tagFalse)
+}
+
+// AppendInt appends an int argument.
+func AppendInt(dst []byte, v int) []byte {
+	dst = append(dst, tagInt)
+	return binary.AppendVarint(dst, int64(v))
+}
+
+// AppendInt64 appends an int64 argument.
+func AppendInt64(dst []byte, v int64) []byte {
+	dst = append(dst, tagInt64)
+	return binary.AppendVarint(dst, v)
+}
+
+// AppendFloat64 appends a float64 argument.
+func AppendFloat64(dst []byte, v float64) []byte {
+	dst = append(dst, tagFloat64)
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendString appends a string argument.
+func AppendString(dst []byte, v string) []byte {
+	dst = append(dst, tagString)
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	return append(dst, v...)
+}
+
+// AppendBytes appends a []byte argument (nil encodes as length 0, like the
+// generic path).
+func AppendBytes(dst []byte, v []byte) []byte {
+	dst = append(dst, tagBytes)
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	return append(dst, v...)
+}
+
+// AppendF64s appends a []float64 argument.
+func AppendF64s(dst []byte, v []float64) []byte {
+	dst = append(dst, tagF64Slice)
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	for _, f := range v {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+	}
+	return dst
+}
+
+// AppendF32s appends a []float32 argument.
+func AppendF32s(dst []byte, v []float32) []byte {
+	dst = append(dst, tagF32Slice)
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	for _, f := range v {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(f))
+	}
+	return dst
+}
+
+// AppendI64s appends an []int64 argument.
+func AppendI64s(dst []byte, v []int64) []byte {
+	dst = append(dst, tagI64Slice)
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	for _, x := range v {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(x))
+	}
+	return dst
+}
+
+// AppendI32s appends an []int32 argument.
+func AppendI32s(dst []byte, v []int32) []byte {
+	dst = append(dst, tagI32Slice)
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	for _, x := range v {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(x))
+	}
+	return dst
+}
+
+// AppendInts appends an []int argument.
+func AppendInts(dst []byte, v []int) []byte {
+	dst = append(dst, tagIntSlice)
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	for _, x := range v {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(x))
+	}
+	return dst
+}
+
+// AppendAny appends an arbitrary value through the full generic encoder
+// (flat registry, then gob). Generated encoders use it for parameter types
+// without a specialized appender.
+func AppendAny(dst []byte, v any) ([]byte, error) { return appendOne(dst, v) }
+
+// AppendFlatHeader appends the tagFlat marker and type name that precede a
+// flat value's field list. Generated code writes flat values of statically
+// known types with it directly, skipping the registry's reflect.TypeOf
+// lookup; the bytes are identical to the generic path's.
+func AppendFlatHeader(dst []byte, name string) []byte {
+	dst = append(dst, tagFlat)
+	dst = binary.AppendUvarint(dst, uint64(len(name)))
+	return append(dst, name...)
+}
+
+// Nil-preserving slice variants, used for flat struct *fields* (gob, which
+// flat codecs replace for struct values, distinguishes nil from empty).
+// Top-level arguments keep the historical collapse-to-empty encoding.
+
+// AppendBytesOrNil is AppendBytes but encodes a nil slice as tagNil.
+func AppendBytesOrNil(dst []byte, v []byte) []byte {
+	if v == nil {
+		return append(dst, tagNil)
+	}
+	return AppendBytes(dst, v)
+}
+
+// AppendF64sOrNil is AppendF64s but encodes a nil slice as tagNil.
+func AppendF64sOrNil(dst []byte, v []float64) []byte {
+	if v == nil {
+		return append(dst, tagNil)
+	}
+	return AppendF64s(dst, v)
+}
+
+// AppendF32sOrNil is AppendF32s but encodes a nil slice as tagNil.
+func AppendF32sOrNil(dst []byte, v []float32) []byte {
+	if v == nil {
+		return append(dst, tagNil)
+	}
+	return AppendF32s(dst, v)
+}
+
+// AppendI64sOrNil is AppendI64s but encodes a nil slice as tagNil.
+func AppendI64sOrNil(dst []byte, v []int64) []byte {
+	if v == nil {
+		return append(dst, tagNil)
+	}
+	return AppendI64s(dst, v)
+}
+
+// AppendI32sOrNil is AppendI32s but encodes a nil slice as tagNil.
+func AppendI32sOrNil(dst []byte, v []int32) []byte {
+	if v == nil {
+		return append(dst, tagNil)
+	}
+	return AppendI32s(dst, v)
+}
+
+// AppendIntsOrNil is AppendInts but encodes a nil slice as tagNil.
+func AppendIntsOrNil(dst []byte, v []int) []byte {
+	if v == nil {
+		return append(dst, tagNil)
+	}
+	return AppendInts(dst, v)
+}
+
+// ---------------------------------------------------------------------------
+// Dec: a typed sequential reader over the argument wire format, for generated
+// decoders. On any malformed or type-mismatched input the reader goes sticky-
+// bad; the caller checks Ok() once at the end and falls back to the generic
+// reflect/gob decoder, which either succeeds (pure type mismatch) or produces
+// the authoritative error (corrupt frame).
+// ---------------------------------------------------------------------------
+
+// Dec reads an encoded argument list front to back.
+type Dec struct {
+	data  []byte
+	pos   int
+	alias bool
+	depth int
+	err   error
+}
+
+// NewDec returns a reader over data. If alias is true, []byte values alias
+// the input buffer (see DecodeArgsAlias for the ownership contract).
+func NewDec(data []byte, alias bool) Dec { return Dec{data: data, alias: alias} }
+
+// Ok reports whether every read so far succeeded.
+func (d *Dec) Ok() bool { return d.err == nil }
+
+// Err returns the first error encountered, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Used returns the number of bytes consumed so far.
+func (d *Dec) Used() int { return d.pos }
+
+func (d *Dec) fail(format string, a ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, a...)
+	}
+}
+
+// Count reads the leading uvarint argument/field count. Returns -1 on error.
+func (d *Dec) Count() int {
+	if d.err != nil {
+		return -1
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("bad argument count")
+		return -1
+	}
+	// Every argument occupies at least its 1-byte tag.
+	if v > uint64(len(d.data)-d.pos-n) {
+		d.fail("argument count %d exceeds remaining bytes", v)
+		return -1
+	}
+	d.pos += n
+	return int(v)
+}
+
+// tag consumes and returns the next tag byte if it matches want.
+func (d *Dec) tag(want byte) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.pos >= len(d.data) {
+		d.fail("truncated argument")
+		return false
+	}
+	if d.data[d.pos] != want {
+		d.fail("tag mismatch: want %d, have %d", want, d.data[d.pos])
+		return false
+	}
+	d.pos++
+	return true
+}
+
+// peekNil consumes a tagNil if present, reporting whether it did.
+func (d *Dec) peekNil() bool {
+	if d.err != nil || d.pos >= len(d.data) || d.data[d.pos] != tagNil {
+		return false
+	}
+	d.pos++
+	return true
+}
+
+func (d *Dec) count(elemSize int) int {
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("bad length")
+		return -1
+	}
+	d.pos += n
+	if v > uint64((len(d.data)-d.pos)/elemSize) {
+		d.fail("declared length %d exceeds remaining bytes", v)
+		return -1
+	}
+	return int(v)
+}
+
+// Bool reads a bool argument.
+func (d *Dec) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.pos >= len(d.data) {
+		d.fail("truncated argument")
+		return false
+	}
+	switch d.data[d.pos] {
+	case tagTrue:
+		d.pos++
+		return true
+	case tagFalse:
+		d.pos++
+		return false
+	}
+	d.fail("tag mismatch: want bool, have %d", d.data[d.pos])
+	return false
+}
+
+func (d *Dec) varint() int64 {
+	v, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// Int reads an int argument.
+func (d *Dec) Int() int {
+	if !d.tag(tagInt) {
+		return 0
+	}
+	return int(d.varint())
+}
+
+// Int64 reads an int64 argument.
+func (d *Dec) Int64() int64 {
+	if !d.tag(tagInt64) {
+		return 0
+	}
+	return d.varint()
+}
+
+// Float64 reads a float64 argument.
+func (d *Dec) Float64() float64 {
+	if !d.tag(tagFloat64) {
+		return 0
+	}
+	if len(d.data)-d.pos < 8 {
+		d.fail("truncated payload")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+// Str reads a string argument.
+func (d *Dec) Str() string {
+	if !d.tag(tagString) {
+		return ""
+	}
+	l := d.count(1)
+	if l < 0 {
+		return ""
+	}
+	s := string(d.data[d.pos : d.pos+l])
+	d.pos += l
+	return s
+}
+
+// Bytes reads a []byte argument, aliasing the input in alias mode.
+func (d *Dec) Bytes() []byte {
+	if !d.tag(tagBytes) {
+		return nil
+	}
+	return d.bytesBody()
+}
+
+func (d *Dec) bytesBody() []byte {
+	l := d.count(1)
+	if l < 0 {
+		return nil
+	}
+	if d.alias {
+		out := d.data[d.pos : d.pos+l : d.pos+l]
+		d.pos += l
+		return out
+	}
+	out := make([]byte, l)
+	copy(out, d.data[d.pos:d.pos+l])
+	d.pos += l
+	return out
+}
+
+// F64s reads a []float64 argument.
+func (d *Dec) F64s() []float64 {
+	if !d.tag(tagF64Slice) {
+		return nil
+	}
+	return d.f64sBody()
+}
+
+func (d *Dec) f64sBody() []float64 {
+	l := d.count(8)
+	if l < 0 {
+		return nil
+	}
+	out := make([]float64, l)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.pos+8*i:]))
+	}
+	d.pos += 8 * l
+	return out
+}
+
+// F32s reads a []float32 argument.
+func (d *Dec) F32s() []float32 {
+	if !d.tag(tagF32Slice) {
+		return nil
+	}
+	return d.f32sBody()
+}
+
+func (d *Dec) f32sBody() []float32 {
+	l := d.count(4)
+	if l < 0 {
+		return nil
+	}
+	out := make([]float32, l)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.data[d.pos+4*i:]))
+	}
+	d.pos += 4 * l
+	return out
+}
+
+// I64s reads an []int64 argument.
+func (d *Dec) I64s() []int64 {
+	if !d.tag(tagI64Slice) {
+		return nil
+	}
+	return d.i64sBody()
+}
+
+func (d *Dec) i64sBody() []int64 {
+	l := d.count(8)
+	if l < 0 {
+		return nil
+	}
+	out := make([]int64, l)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(d.data[d.pos+8*i:]))
+	}
+	d.pos += 8 * l
+	return out
+}
+
+// I32s reads an []int32 argument.
+func (d *Dec) I32s() []int32 {
+	if !d.tag(tagI32Slice) {
+		return nil
+	}
+	return d.i32sBody()
+}
+
+func (d *Dec) i32sBody() []int32 {
+	l := d.count(4)
+	if l < 0 {
+		return nil
+	}
+	out := make([]int32, l)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(d.data[d.pos+4*i:]))
+	}
+	d.pos += 4 * l
+	return out
+}
+
+// Ints reads an []int argument.
+func (d *Dec) Ints() []int {
+	if !d.tag(tagIntSlice) {
+		return nil
+	}
+	return d.intsBody()
+}
+
+func (d *Dec) intsBody() []int {
+	l := d.count(8)
+	if l < 0 {
+		return nil
+	}
+	out := make([]int, l)
+	for i := range out {
+		out[i] = int(int64(binary.LittleEndian.Uint64(d.data[d.pos+8*i:])))
+	}
+	d.pos += 8 * l
+	return out
+}
+
+// Nil-preserving slice readers, pairing the *OrNil appenders for flat struct
+// fields.
+
+// BytesOrNil reads a []byte field that may be an explicit nil.
+func (d *Dec) BytesOrNil() []byte {
+	if d.peekNil() {
+		return nil
+	}
+	return d.Bytes()
+}
+
+// F64sOrNil reads a []float64 field that may be an explicit nil.
+func (d *Dec) F64sOrNil() []float64 {
+	if d.peekNil() {
+		return nil
+	}
+	return d.F64s()
+}
+
+// F32sOrNil reads a []float32 field that may be an explicit nil.
+func (d *Dec) F32sOrNil() []float32 {
+	if d.peekNil() {
+		return nil
+	}
+	return d.F32s()
+}
+
+// I64sOrNil reads an []int64 field that may be an explicit nil.
+func (d *Dec) I64sOrNil() []int64 {
+	if d.peekNil() {
+		return nil
+	}
+	return d.I64s()
+}
+
+// I32sOrNil reads an []int32 field that may be an explicit nil.
+func (d *Dec) I32sOrNil() []int32 {
+	if d.peekNil() {
+		return nil
+	}
+	return d.I32s()
+}
+
+// IntsOrNil reads an []int field that may be an explicit nil.
+func (d *Dec) IntsOrNil() []int {
+	if d.peekNil() {
+		return nil
+	}
+	return d.Ints()
+}
+
+// FlatHeader consumes a flat value's tagFlat marker and type name,
+// verifying the name matches. Generated decoders of statically known flat
+// types use it in place of the registry's name lookup.
+func (d *Dec) FlatHeader(name string) bool {
+	if !d.tag(tagFlat) {
+		return false
+	}
+	l := d.count(1)
+	if l < 0 {
+		return false
+	}
+	got := d.data[d.pos : d.pos+l]
+	d.pos += l
+	if string(got) != name {
+		d.fail("flat type mismatch: want %q, have %q", name, got)
+		return false
+	}
+	return true
+}
+
+// Abort marks the reader failed. Generated decoders use it for structural
+// mismatches the typed readers cannot express, such as an unexpected field
+// count.
+func (d *Dec) Abort(msg string) { d.fail("%s", msg) }
+
+// Any reads one argument of arbitrary type through the full generic decoder
+// (including gob and nested flat values). Generated decoders use it for
+// parameter types without a specialized reader.
+func (d *Dec) Any() any {
+	if d.err != nil {
+		return nil
+	}
+	v, used, err := decodeOneDepth(d.data[d.pos:], d.alias, d.depth+1)
+	if err != nil {
+		d.fail("%v", err)
+		return nil
+	}
+	d.pos += used
+	return v
+}

@@ -1,0 +1,227 @@
+package ser
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// flatPoint mirrors what `charmgo gen` emits for a flat struct: hand-written
+// field appenders/readers registered under a wire name. The tests below pin
+// the invariant the whole codegen scheme rests on — the generic appendOne
+// path (which consults the flat registry) and direct generated-style
+// encoding produce identical bytes, and both decoders agree.
+type flatPoint struct {
+	N     int
+	Scale float64
+	Name  string
+	Grid  []int
+	raw   []byte
+}
+
+const flatPointName = "ser_test.flatPoint"
+
+func appendFlatPointFields(dst []byte, v flatPoint) []byte {
+	dst = AppendCount(dst, 5)
+	dst = AppendInt(dst, v.N)
+	dst = AppendFloat64(dst, v.Scale)
+	dst = AppendString(dst, v.Name)
+	dst = AppendIntsOrNil(dst, v.Grid)
+	dst = AppendBytesOrNil(dst, v.raw)
+	return dst
+}
+
+func readFlatPointFields(d *Dec) flatPoint {
+	var v flatPoint
+	if d.Count() != 5 {
+		d.Abort("flatPoint field count")
+		return v
+	}
+	v.N = d.Int()
+	v.Scale = d.Float64()
+	v.Name = d.Str()
+	v.Grid = d.IntsOrNil()
+	v.raw = d.BytesOrNil()
+	return v
+}
+
+// appendFlatPoint is the generated-style argument encoder (header + fields).
+func appendFlatPoint(dst []byte, v flatPoint) []byte {
+	return appendFlatPointFields(AppendFlatHeader(dst, flatPointName), v)
+}
+
+func registerFlatPoint() {
+	if HasFlat(flatPoint{}) {
+		return
+	}
+	RegisterFlat(flatPointName, flatPoint{},
+		func(dst []byte, v any) ([]byte, bool) {
+			x, ok := v.(flatPoint)
+			if !ok {
+				return dst, false
+			}
+			return appendFlatPointFields(dst, x), true
+		},
+		func(d *Dec) (any, bool) {
+			v := readFlatPointFields(d)
+			return v, d.Ok()
+		})
+}
+
+func TestFlatRoundTrip(t *testing.T) {
+	registerFlatPoint()
+	cases := []flatPoint{
+		{},
+		{N: -3, Scale: 2.5, Name: "hello", Grid: []int{1, 2, 3}, raw: []byte{9}},
+		{Grid: []int{}, raw: []byte{}}, // empty non-nil slices
+	}
+	for _, v := range cases {
+		enc, err := AppendArgs(nil, []any{v})
+		if err != nil {
+			t.Fatalf("%+v: %v", v, err)
+		}
+		got, used, err := DecodeArgs(enc)
+		if err != nil || used != len(enc) || len(got) != 1 {
+			t.Fatalf("%+v: decode: %v (used %d/%d, %d args)", v, err, used, len(enc), len(got))
+		}
+		dec := got[0].(flatPoint)
+		// Field-level nil/empty is preserved by the OrNil convention except
+		// that empty and nil both carry length info; check semantic equality.
+		if dec.N != v.N || dec.Scale != v.Scale || dec.Name != v.Name ||
+			!reflect.DeepEqual(dec.Grid, v.Grid) || !bytes.Equal(dec.raw, v.raw) {
+			t.Errorf("roundtrip mismatch: got %+v want %+v", dec, v)
+		}
+		if (dec.Grid == nil) != (v.Grid == nil) || (dec.raw == nil) != (v.raw == nil) {
+			t.Errorf("nil-ness not preserved: got %+v want %+v", dec, v)
+		}
+	}
+}
+
+func TestFlatGenericAndGeneratedBytesIdentical(t *testing.T) {
+	registerFlatPoint()
+	v := flatPoint{N: 7, Scale: -0.25, Name: "x", Grid: []int{4, 5}}
+	generic, err := AppendArgs(nil, []any{v, 42, "tail"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := AppendCount(nil, 3)
+	gen = appendFlatPoint(gen, v)
+	gen = AppendInt(gen, 42)
+	gen = AppendString(gen, "tail")
+	if !bytes.Equal(generic, gen) {
+		t.Fatalf("generic and generated encodings differ:\n  generic %x\n  generated %x", generic, gen)
+	}
+	// And the typed reader agrees with the generic decoder.
+	d := NewDec(gen, false)
+	if d.Count() != 3 {
+		t.Fatalf("Count: %v", d.Err())
+	}
+	got := readFlatPointValue(t, &d)
+	if n := d.Int(); n != 42 {
+		t.Fatalf("Int: got %d (%v)", n, d.Err())
+	}
+	if s := d.Str(); s != "tail" {
+		t.Fatalf("Str: got %q (%v)", s, d.Err())
+	}
+	if !d.Ok() || d.Used() != len(gen) {
+		t.Fatalf("reader state: err=%v used=%d/%d", d.Err(), d.Used(), len(gen))
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("typed read mismatch: got %+v want %+v", got, v)
+	}
+}
+
+func readFlatPointValue(t *testing.T, d *Dec) flatPoint {
+	t.Helper()
+	if !d.FlatHeader(flatPointName) {
+		t.Fatalf("FlatHeader: %v", d.Err())
+	}
+	return readFlatPointFields(d)
+}
+
+func TestFlatDecodeHostileInputs(t *testing.T) {
+	registerFlatPoint()
+	valid, err := AppendArgs(nil, []any{flatPoint{N: 1, Name: "a", Grid: []int{2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict truncation of a valid flat payload must error, not panic
+	// (the declared arg count can never be satisfied by fewer bytes).
+	for i := 0; i < len(valid); i++ {
+		if _, _, err := DecodeArgs(valid[:i]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded without error", i, len(valid))
+		}
+	}
+	// Unknown wire name errors cleanly.
+	unknown := AppendCount(nil, 1)
+	unknown = appendFlatPointFields(AppendFlatHeader(unknown, "ser_test.noSuchType"), flatPoint{})
+	if _, _, err := DecodeArgs(unknown); err == nil {
+		t.Error("decoding an unregistered flat name should fail")
+	}
+	// Wrong-name FlatHeader on the typed reader aborts and stays aborted.
+	d := NewDec(valid, false)
+	d.Count()
+	if d.FlatHeader("ser_test.other") {
+		t.Error("FlatHeader with wrong name should fail")
+	}
+	if d.Ok() {
+		t.Error("Dec should be in error state after name mismatch")
+	}
+	if d.Int() != 0 || d.Ok() {
+		t.Error("sticky error violated: reads after failure must return zero values")
+	}
+}
+
+// FuzzFlatDifferential is the codegen contract as a fuzz target: for
+// arbitrary field values, the generic registry path and the generated-style
+// typed path must (1) produce byte-identical encodings, (2) decode each
+// other's output, and (3) agree on the decoded value. This is what lets
+// bound and unbound peers interoperate on one wire format.
+func FuzzFlatDifferential(f *testing.F) {
+	registerFlatPoint()
+	f.Add(0, 0.0, "", []byte(nil), false, false)
+	f.Add(-9, 1.75, "name", []byte{1, 0, 255}, true, true)
+	f.Fuzz(func(t *testing.T, n int, scale float64, name string, gridRaw []byte, nilGrid, nilRaw bool) {
+		v := flatPoint{N: n, Scale: scale, Name: name}
+		if !nilGrid {
+			v.Grid = make([]int, 0, len(gridRaw))
+			for _, b := range gridRaw {
+				v.Grid = append(v.Grid, int(b)-128)
+			}
+		}
+		if !nilRaw {
+			v.raw = append([]byte{}, gridRaw...)
+		}
+
+		generic, err := AppendArgs(nil, []any{v})
+		if err != nil {
+			t.Fatalf("generic encode: %v", err)
+		}
+		gen := appendFlatPoint(AppendCount(nil, 1), v)
+		if !bytes.Equal(generic, gen) {
+			t.Fatalf("encodings differ:\n  generic   %x\n  generated %x", generic, gen)
+		}
+
+		args, used, err := DecodeArgs(gen)
+		if err != nil || used != len(gen) || len(args) != 1 {
+			t.Fatalf("generic decode of generated bytes: %v (used %d/%d)", err, used, len(gen))
+		}
+		d := NewDec(generic, false)
+		if d.Count() != 1 {
+			t.Fatalf("Count: %v", d.Err())
+		}
+		if !d.FlatHeader(flatPointName) {
+			t.Fatalf("FlatHeader: %v", d.Err())
+		}
+		typed := readFlatPointFields(&d)
+		if !d.Ok() || d.Used() != len(generic) {
+			t.Fatalf("typed decode of generic bytes: err=%v used=%d/%d", d.Err(), d.Used(), len(generic))
+		}
+		if !reflect.DeepEqual(args[0].(flatPoint), typed) {
+			t.Fatalf("decoders disagree: generic %+v typed %+v", args[0], typed)
+		}
+		if !reflect.DeepEqual(typed, v) {
+			t.Fatalf("roundtrip changed value: got %+v want %+v", typed, v)
+		}
+	})
+}

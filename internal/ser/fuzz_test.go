@@ -11,12 +11,14 @@ import (
 // fuzzArgSeeds covers every direct-encoding tag plus hostile shapes: a
 // truncated gob payload and an oversized declared count.
 func fuzzArgSeeds() [][]byte {
+	registerFlatPoint()
 	var seeds [][]byte
 	for _, args := range [][]any{
 		{},
 		{nil, true, false},
 		{42, int64(-7), 3.14, "hello", []byte{1, 2, 3}},
 		{[]float64{1, 2.5}, []float32{0.5}, []int64{-1, 1 << 40}, []int32{7}, []int{3, 4}},
+		{flatPoint{N: 5, Scale: 0.5, Name: "flat", Grid: []int{1, 2}}, "tail"},
 	} {
 		b, err := AppendArgs(nil, args)
 		if err != nil {

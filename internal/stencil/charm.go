@@ -28,44 +28,17 @@ type Block struct {
 	Stats     core.Future
 }
 
-// method ids for the static FastDispatcher path, filled by Register.
-var blockMID struct {
-	once                            sync.Once
-	init, recvGhost, resume, report int
-}
-
 // Register registers the stencil chare types and argument metadata with a
-// runtime. Call on every node before Start.
+// runtime. Call on every node before Start. Typed dispatch and argument
+// codecs come from the generated bindings (charmgo_gen.go), the analog of
+// Charm++'s charmxi-generated dispatch code; they replaced the hand-written
+// FastDispatcher switch this package used to carry.
 func Register(rt *core.Runtime) {
 	ser.RegisterType(Params{})
 	rt.Register(&Block{},
 		core.When("RecvGhost", "self.iter == iter"),
 		core.ArgNames("RecvGhost", "iter", "dir", "face"),
 	)
-	blockMID.once.Do(func() {
-		blockMID.init = rt.MethodID("Block", "Init")
-		blockMID.recvGhost = rt.MethodID("Block", "RecvGhost")
-		blockMID.resume = rt.MethodID("Block", "ResumeFromSync")
-		blockMID.report = rt.MethodID("Block", "ReportStats")
-	})
-}
-
-// DispatchEM implements core.FastDispatcher: a hand-written dispatch switch,
-// the analog of the generated C++ dispatch code in Charm++ (used only in
-// StaticDispatch mode).
-func (b *Block) DispatchEM(methodID int, args []any) {
-	switch methodID {
-	case blockMID.recvGhost:
-		b.RecvGhost(args[0].(int), args[1].(int), args[2].([]float64))
-	case blockMID.init:
-		b.Init(args[0].(Params), args[1].(core.Future), args[2].(core.Future))
-	case blockMID.resume:
-		b.ResumeFromSync()
-	case blockMID.report:
-		b.ReportStats()
-	default:
-		panic(fmt.Sprintf("stencil: unknown method id %d", methodID))
-	}
 }
 
 // Init is the block constructor.
