@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint charmvet race fuzz bench collectives vet profile chaos gen gencheck bench/dispatch
+.PHONY: all build test check lint charmvet race fuzz bench collectives vet profile chaos gen gencheck bench/dispatch introspect
 
 all: build
 
@@ -39,10 +39,11 @@ chaos:
 
 # check is the CI gate: build everything, lint (go vet + charmvet), verify
 # generated bindings are fresh, run the full test suite under the race
-# detector, then the chaos/recovery suite.
+# detector, then the chaos/recovery suite and the live-introspection smoke.
 check: build lint gencheck
 	$(GO) test -race ./...
 	$(MAKE) chaos
+	$(MAKE) introspect
 
 race:
 	$(GO) test -race ./...
@@ -80,3 +81,26 @@ profile:
 	$(GO) build -o /tmp/charmgo-tracecheck ./cmd/tracecheck
 	/tmp/charmgo-charmrun -np 2 -pes 2 -baseport 42160 -trace /tmp/charmgo-stencil.json /tmp/charmgo-stencil3d
 	/tmp/charmgo-tracecheck /tmp/charmgo-stencil.json
+
+# introspect is the live-introspection smoke (DESIGN.md §3.6): launch the
+# kvstore example across 3 processes with CCS sampling on, scrape node 0's
+# /introspect while the job runs, schema-check the cluster snapshot
+# (introspectcheck also does one `charmgo top -json`-equivalent fetch of the
+# live trace window), validate that window with tracecheck, then let the job
+# finish cleanly.
+introspect:
+	$(GO) build -o /tmp/charmgo-kvstore ./examples/kvstore
+	$(GO) build -o /tmp/charmgo-charmrun ./cmd/charmrun
+	$(GO) build -o /tmp/charmgo-tool ./cmd/charmgo
+	$(GO) build -o /tmp/charmgo-introspectcheck ./cmd/introspectcheck
+	$(GO) build -o /tmp/charmgo-tracecheck ./cmd/tracecheck
+	/tmp/charmgo-charmrun -np 3 -pes 2 -baseport 42180 -ccs-addr 127.0.0.1:9390 \
+		/tmp/charmgo-kvstore -seconds 15 -shards 24 & \
+	CRPID=$$!; \
+	sleep 4; \
+	/tmp/charmgo-tool top -json 127.0.0.1:9390 > /tmp/charmgo-introspect.json && \
+	/tmp/charmgo-introspectcheck -nodes 3 /tmp/charmgo-introspect.json && \
+	/tmp/charmgo-introspectcheck -nodes 3 -trace-out /tmp/charmgo-introwindow.json -window 3s \
+		http://127.0.0.1:9390/introspect && \
+	/tmp/charmgo-tracecheck /tmp/charmgo-introwindow.json; \
+	RC=$$?; wait $$CRPID || RC=1; exit $$RC

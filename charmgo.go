@@ -46,6 +46,7 @@ import (
 
 	"charmgo/internal/core"
 	"charmgo/internal/ft"
+	"charmgo/internal/introspect"
 	"charmgo/internal/metrics"
 	"charmgo/internal/trace"
 	"charmgo/internal/transport"
@@ -94,6 +95,10 @@ type (
 	// MetricsRegistry holds the runtime's live counters and gauges (set
 	// Config.Metrics; expose with ServeMetrics).
 	MetricsRegistry = metrics.Registry
+	// IntrospectCluster is the live cluster-introspection holder behind
+	// /introspect (set Config.Introspect and Config.SampleInterval; expose
+	// with ServeDebug). `charmgo top` renders its JSON.
+	IntrospectCluster = introspect.Cluster
 )
 
 // NewTracer creates a tracer for numPEs local PEs (default event cap).
@@ -106,11 +111,22 @@ func NewTracerWithCap(numPEs, cap int) *Tracer { return trace.NewWithCap(numPEs,
 // NewMetricsRegistry creates an empty metrics registry for Config.Metrics.
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
+// NewIntrospectCluster creates an empty introspection holder for
+// Config.Introspect (the runtime sizes it at Start).
+func NewIntrospectCluster() *IntrospectCluster { return introspect.NewCluster() }
+
 // ServeMetrics starts the debug HTTP endpoint (/metrics, /trace,
 // /debug/pprof) for a registry; tr may be nil. Close the returned server
 // when done.
 func ServeMetrics(addr string, reg *MetricsRegistry, tr *Tracer) (*metrics.Server, error) {
-	return metrics.Serve(addr, reg, traceSource(tr))
+	return metrics.Serve(addr, reg, traceSource(tr), nil)
+}
+
+// ServeDebug is ServeMetrics plus the live-introspection endpoints
+// (/introspect, /introspect/trace, /introspect/lb) backed by is; tr and is
+// may be nil.
+func ServeDebug(addr string, reg *MetricsRegistry, tr *Tracer, is *IntrospectCluster) (*metrics.Server, error) {
+	return metrics.Serve(addr, reg, traceSource(tr), introSource(is))
 }
 
 // traceSource converts a possibly-nil *Tracer into a possibly-nil interface
@@ -120,6 +136,14 @@ func traceSource(tr *Tracer) metrics.TraceSource {
 		return nil
 	}
 	return tr
+}
+
+// introSource is traceSource's counterpart for the introspection holder.
+func introSource(is *IntrospectCluster) metrics.IntrospectSource {
+	if is == nil {
+		return nil
+	}
+	return is
 }
 
 // WriteChromeTrace renders node reports as Chrome trace-event JSON
@@ -204,6 +228,12 @@ func Run(cfg Config, reg func(*Runtime), entry func(self *Chare)) {
 //   - CHARMGO_TRACE_CAP bounds the per-PE trace ring buffers (events each).
 //   - CHARMGO_METRICS_ADDR=host:port serves /metrics, /trace and
 //     /debug/pprof on port+nodeID for the lifetime of the job.
+//   - CHARMGO_CCS_ADDR=host:port additionally enables live introspection
+//     sampling and serves /introspect, /introspect/trace and /introspect/lb
+//     (on CHARMGO_METRICS_ADDR when that is also set, else on this address,
+//     again shifted by nodeID). `charmgo top` reads node 0's endpoint.
+//   - CHARMGO_SAMPLE_INTERVAL / CHARMGO_SAMPLE_TOPK tune the sampler
+//     (defaults 250ms / 5).
 func RunFromEnv(cfg Config, reg func(*Runtime), entry func(self *Chare)) error {
 	var list []string
 	nodeID := 0
@@ -427,17 +457,23 @@ func ftEnvDuration(name string, def time.Duration) (time.Duration, error) {
 }
 
 // setupObservability reads CHARMGO_TRACE / CHARMGO_TRACE_CAP /
-// CHARMGO_METRICS_ADDR and mutates cfg accordingly. The returned function
+// CHARMGO_METRICS_ADDR / CHARMGO_CCS_ADDR / CHARMGO_SAMPLE_INTERVAL /
+// CHARMGO_SAMPLE_TOPK and mutates cfg accordingly. The returned function
 // (nil when no observability is requested) must run after the job exits:
-// it stops the metrics server and, on node 0, exports the timeline.
+// it stops the debug server and, on node 0, exports the timeline.
 func setupObservability(cfg *Config, nodeID int, multiNode bool) (func(*Runtime), error) {
 	tracePath := os.Getenv("CHARMGO_TRACE")
 	metricsAddr := os.Getenv("CHARMGO_METRICS_ADDR")
-	if tracePath == "" && metricsAddr == "" {
+	ccsAddr := os.Getenv("CHARMGO_CCS_ADDR")
+	if tracePath == "" && metricsAddr == "" && ccsAddr == "" {
 		return nil, nil
 	}
 	var tr *trace.Tracer
-	if tracePath != "" {
+	if tracePath != "" || ccsAddr != "" {
+		// The CCS endpoint exports the live trace window (/introspect/trace)
+		// and the comm-matrix deltas `charmgo top` shows, so -ccs-addr
+		// implies a tracer even without -trace; without a trace path the
+		// timeline is simply never written to disk.
 		evCap := trace.DefaultEventCap
 		if s := os.Getenv("CHARMGO_TRACE_CAP"); s != "" {
 			n, err := strconv.Atoi(s)
@@ -448,28 +484,58 @@ func setupObservability(cfg *Config, nodeID int, multiNode bool) (func(*Runtime)
 		}
 		tr = trace.NewWithCap(cfg.PEs, evCap)
 		cfg.Trace = tr
-		cfg.TraceGather = multiNode
+		cfg.TraceGather = tracePath != "" && multiNode
+	}
+	var intro *IntrospectCluster
+	if ccsAddr != "" {
+		// CCS-style live introspection: turn on sampling (default 250ms) and
+		// create the cluster holder the runtime fills at Start.
+		cfg.SampleInterval = 250 * time.Millisecond
+		if s := os.Getenv("CHARMGO_SAMPLE_INTERVAL"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("charmgo: bad CHARMGO_SAMPLE_INTERVAL %q", s)
+			}
+			cfg.SampleInterval = d
+		}
+		if s := os.Getenv("CHARMGO_SAMPLE_TOPK"); s != "" {
+			k, err := strconv.Atoi(s)
+			if err != nil || k < 1 {
+				return nil, fmt.Errorf("charmgo: bad CHARMGO_SAMPLE_TOPK %q", s)
+			}
+			cfg.SampleTopK = k
+		}
+		intro = NewIntrospectCluster()
+		cfg.Introspect = intro
 	}
 	var srv *metrics.Server
-	if metricsAddr != "" {
+	if serveAddr := metricsAddr; serveAddr != "" || ccsAddr != "" {
+		if serveAddr == "" {
+			serveAddr = ccsAddr
+		}
 		reg := metrics.NewRegistry()
 		cfg.Metrics = reg
-		addr, err := offsetPort(metricsAddr, nodeID)
+		addr, err := offsetPort(serveAddr, nodeID)
 		if err != nil {
-			return nil, fmt.Errorf("charmgo: bad CHARMGO_METRICS_ADDR %q: %v", metricsAddr, err)
+			return nil, fmt.Errorf("charmgo: bad debug-endpoint address %q: %v", serveAddr, err)
 		}
-		srv, err = metrics.Serve(addr, reg, traceSource(tr))
+		srv, err = metrics.Serve(addr, reg, traceSource(tr), introSource(intro))
 		if err != nil {
 			return nil, fmt.Errorf("charmgo: metrics endpoint: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "charmgo: node %d metrics at http://%s/metrics\n", nodeID, srv.Addr())
+		if intro != nil {
+			fmt.Fprintf(os.Stderr, "charmgo: node %d introspection at http://%s/introspect\n", nodeID, srv.Addr())
+		}
 	}
 	return func(rt *Runtime) {
 		if srv != nil {
 			srv.Close()
 		}
-		if tr == nil || nodeID != 0 || rt == nil {
-			return // rt == nil: FT runs don't gather traces across incarnations
+		if tr == nil || tracePath == "" || nodeID != 0 || rt == nil {
+			// tracePath == "": the tracer only fed the live CCS endpoints.
+			// rt == nil: FT runs don't gather traces across incarnations.
+			return
 		}
 		reps := rt.TraceReports()
 		f, err := os.Create(tracePath)

@@ -1,12 +1,17 @@
-// Command charmgo is the CharmGo developer tool. Its first (and so far only)
-// subcommand, gen, emits charmgo_gen.go binding files: typed entry-method
+// Command charmgo is the CharmGo developer tool.
+//
+// The gen subcommand emits charmgo_gen.go binding files: typed entry-method
 // dispatch and argument codecs that replace reflection and gob on the
 // remote-invoke hot path — the role charmxi's generated stubs play for
 // Charm++.
 //
+// The top subcommand is an htop-style live view of a running job's
+// /introspect endpoint (see top.go).
+//
 // Usage:
 //
 //	charmgo gen [-check] [-v] [packages]
+//	charmgo top [-json] [-interval DUR] [-topk N] [http://host:port]
 //
 // Package patterns follow the go tool: ./... for the whole module, a
 // directory path for one package. With no arguments, ./... is assumed.
@@ -33,15 +38,26 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
-	if len(args) == 0 || args[0] != "gen" {
+	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
+	switch args[0] {
+	case "gen":
+		runGen(args[1:])
+	case "top":
+		runTop(args[1:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
 
+func runGen(args []string) {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	check := fs.Bool("check", false, "verify committed bindings are fresh; write nothing")
 	verbose := fs.Bool("v", false, "log every package visited")
-	fs.Parse(args[1:])
+	fs.Parse(args)
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -113,11 +129,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: charmgo gen [-check] [-v] [packages]
+	fmt.Fprint(os.Stderr, `usage: charmgo <command> [flags]
 
-Generate charmgo_gen.go typed dispatch/codec bindings for every package
-defining chare types. -check verifies freshness without writing (exit 1 on
-stale, missing, or orphaned bindings).
+Commands:
+  gen [-check] [-v] [packages]
+        Generate charmgo_gen.go typed dispatch/codec bindings for every
+        package defining chare types. -check verifies freshness without
+        writing (exit 1 on stale, missing, or orphaned bindings).
+  top [-json] [-interval DUR] [-topk N] [url]
+        Live htop-style view of a running job's /introspect endpoint
+        (default http://127.0.0.1:9300). -json prints one raw snapshot
+        and exits.
 `)
 }
 

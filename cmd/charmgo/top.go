@@ -1,0 +1,112 @@
+package main
+
+// charmgo top: an htop-style live view over a running job's /introspect
+// endpoint (the CCS-style introspection layer, DESIGN.md §3.6). It polls
+// node 0's debug endpoint at the job's sample interval and repaints per-PE
+// utilization bars, mailbox depths, the job-wide hottest chares and the
+// PE×PE comm-matrix deltas. With -json it prints one raw ClusterSnapshot
+// and exits (the smoke tests and scripts consume this).
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"charmgo/internal/introspect"
+)
+
+const defaultTopURL = "http://127.0.0.1:9300"
+
+func runTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	jsonOnce := fs.Bool("json", false, "print one raw /introspect snapshot as JSON and exit")
+	interval := fs.Duration("interval", 0, "refresh period (0 = the job's sample interval)")
+	topK := fs.Int("topk", 10, "rows in the hottest-chares table")
+	fs.Parse(args)
+	url := defaultTopURL
+	if fs.NArg() > 0 {
+		url = strings.TrimRight(fs.Arg(0), "/")
+	}
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+
+	if *jsonOnce {
+		body, err := fetchRaw(url + "/introspect")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(body)
+		return
+	}
+
+	// Live mode: repaint until interrupted (or the job goes away).
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	var prev *introspect.ClusterSnapshot
+	failures := 0
+	for {
+		snap, err := fetchSnapshot(url + "/introspect")
+		if err != nil {
+			failures++
+			if failures >= 3 {
+				fatal(fmt.Errorf("lost %s: %v", url, err))
+			}
+		} else {
+			failures = 0
+			view := introspect.Render(*snap, introspect.RenderOptions{TopK: *topK, Prev: prev})
+			// ANSI clear + home keeps the repaint flicker-free without
+			// pulling in a terminal library.
+			fmt.Print("\033[H\033[2J" + view)
+			prev = snap
+		}
+		wait := *interval
+		if wait <= 0 {
+			wait = 250 * time.Millisecond
+			if snap != nil && snap.SampleInterval > 0 {
+				wait = snap.SampleInterval
+			}
+		}
+		select {
+		case <-sig:
+			fmt.Println()
+			return
+		case <-time.After(wait):
+		}
+	}
+}
+
+func fetchRaw(url string) ([]byte, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+func fetchSnapshot(url string) (*introspect.ClusterSnapshot, error) {
+	body, err := fetchRaw(url)
+	if err != nil {
+		return nil, err
+	}
+	var s introspect.ClusterSnapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		return nil, fmt.Errorf("bad /introspect JSON: %v", err)
+	}
+	return &s, nil
+}

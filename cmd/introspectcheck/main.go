@@ -1,0 +1,157 @@
+// Introspectcheck validates a /introspect cluster snapshot — either fetched
+// live from a running job's debug endpoint or read from a file (e.g. the
+// output of `charmgo top -json`). It checks the JSON schema the introspect
+// package serves: node count, a view per node, in-range PE samples with
+// sane utilization, and (for nodes that have reported) a consistent BasePE
+// layout. Used by `make introspect` to gate the live-introspection smoke
+// run:
+//
+//	go run ./cmd/introspectcheck -nodes 3 http://127.0.0.1:9300/introspect
+//	go run ./cmd/introspectcheck -nodes 3 /tmp/introspect.json
+//
+// With -trace-out the tool also fetches /introspect/trace (the live Chrome
+// export) from the same endpoint and writes it to the named file, so the
+// smoke target can hand it to cmd/tracecheck. Exit status is 0 for a valid
+// snapshot, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"charmgo/internal/introspect"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 0, "expected node count (0 = accept any)")
+	reported := flag.Int("reported", -1, "minimum nodes with a live sample (-1 = all)")
+	traceOut := flag.String("trace-out", "", "also fetch /introspect/trace and write it here (URL input only)")
+	window := flag.Duration("window", 5*time.Second, "trace window to request with -trace-out")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: introspectcheck [-nodes N] [-reported M] [-trace-out f.json] <url-or-file>")
+		os.Exit(2)
+	}
+	src := flag.Arg(0)
+
+	data, isURL, err := load(src)
+	if err != nil {
+		fail("%v", err)
+	}
+	var s introspect.ClusterSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		fail("%s: not valid /introspect JSON: %v", src, err)
+	}
+
+	if *nodes > 0 && s.Nodes != *nodes {
+		fail("%s: nodes = %d, want %d", src, s.Nodes, *nodes)
+	}
+	if len(s.Node) != s.Nodes {
+		fail("%s: %d node views for %d nodes", src, len(s.Node), s.Nodes)
+	}
+	if s.TotalPEs <= 0 {
+		fail("%s: totalPEs = %d", src, s.TotalPEs)
+	}
+	if s.SampleInterval <= 0 {
+		fail("%s: sampleIntervalNanos = %d (sampling not enabled?)", src, s.SampleInterval)
+	}
+
+	live := 0
+	for i, nv := range s.Node {
+		if nv.Missing || nv.Dead {
+			continue
+		}
+		live++
+		if nv.Node != i {
+			fail("%s: view %d reports node id %d", src, i, nv.Node)
+		}
+		if nv.Seq <= 0 {
+			fail("%s: node %d: seq = %d", src, i, nv.Seq)
+		}
+		if len(nv.PEs) == 0 {
+			fail("%s: node %d: no PE samples", src, i)
+		}
+		if nv.TotalPEs != s.TotalPEs {
+			fail("%s: node %d: totalPEs = %d, cluster says %d", src, i, nv.TotalPEs, s.TotalPEs)
+		}
+		for j, pe := range nv.PEs {
+			if want := nv.BasePE + j; pe.PE != want {
+				fail("%s: node %d PE sample %d: pe = %d, want %d", src, i, j, pe.PE, want)
+			}
+			if pe.Util < 0 || pe.Util > 1 {
+				fail("%s: node %d PE %d: util = %v out of [0,1]", src, i, pe.PE, pe.Util)
+			}
+			if pe.MailboxDepth < 0 || pe.BusyNanos < 0 || pe.TotalEMs < 0 || pe.TotalRecvs < 0 {
+				fail("%s: node %d PE %d: negative counter", src, i, pe.PE)
+			}
+		}
+		for _, cs := range nv.Colls {
+			for _, h := range cs.Hot {
+				if h.LoadMillis < 0 {
+					fail("%s: node %d coll %d: negative element load", src, i, cs.CID)
+				}
+			}
+		}
+	}
+	want := *reported
+	if want < 0 {
+		want = s.Nodes
+	}
+	if live < want {
+		fail("%s: only %d of %d nodes have live samples (want >= %d)", src, live, s.Nodes, want)
+	}
+
+	if *traceOut != "" {
+		if !isURL {
+			fail("-trace-out requires a URL input (got file %s)", src)
+		}
+		turl := strings.TrimSuffix(src, "/introspect") + fmt.Sprintf("/introspect/trace?window=%s", *window)
+		body, err := fetch(turl)
+		if err != nil {
+			fail("trace window: %v", err)
+		}
+		if err := os.WriteFile(*traceOut, body, 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("introspectcheck: wrote %s (%d bytes of live trace window)\n", *traceOut, len(body))
+	}
+	fmt.Printf("introspectcheck: OK: %d nodes, %d PEs, %d live, interval %s\n",
+		s.Nodes, s.TotalPEs, live, s.SampleInterval)
+}
+
+func load(src string) (data []byte, isURL bool, err error) {
+	if strings.Contains(src, "://") {
+		b, err := fetch(src)
+		return b, true, err
+	}
+	b, err := os.ReadFile(src)
+	return b, false, err
+}
+
+func fetch(url string) ([]byte, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "introspectcheck: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}

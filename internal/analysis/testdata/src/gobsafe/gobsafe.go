@@ -135,3 +135,48 @@ func kickTree(pr core.Proxy, fut core.Future) {
 	pr.Call("RecvTreeBcast", TreeBcastPayload{Root: 0, Seq: 1}, []TreePartial{})
 	fut.Send(TreeUnregistered{Root: 1}) // want "never gob-registered"
 }
+
+// Introspection-control-style wire messages (internal/core ships node
+// snapshots up the spanning tree and forced-LB census frames between PEs):
+// the same gob rules apply to the CCS control channel.
+
+// IntroPESample mirrors one PE's utilization sample inside a shipped node
+// snapshot: exported fields only, gob-registered below.
+type IntroPESample struct {
+	PE    int
+	Busy  int64
+	Util  float64
+	Depth int
+}
+
+// IntroSnapshot mirrors the per-node report relayed to node 0.
+type IntroSnapshot struct {
+	Node int
+	Seq  int64
+	PEs  []IntroPESample
+}
+
+// IntroBadSnapshot carries the sampler's private delta state: node 0 could
+// never decode it.
+type IntroBadSnapshot struct {
+	Node     int
+	prevBusy []int64
+}
+
+func (c *Cell) RecvIntroReport(s IntroSnapshot)  {}
+func (c *Cell) RecvIntroBad(s IntroBadSnapshot)  {} // want "unexported field \"prevBusy\""
+func (c *Cell) RecvIntroPair(ps []IntroPESample) {}
+
+func init() {
+	ser.RegisterType(IntroSnapshot{})
+	ser.RegisterType(IntroPESample{})
+}
+
+// IntroUnregistered is wire-clean but never registered with gob.
+type IntroUnregistered struct{ Seq int64 }
+
+func kickIntro(pr core.Proxy, fut core.Future) {
+	fut.Send(IntroSnapshot{Node: 1, Seq: 7})
+	pr.Call("RecvIntroPair", []IntroPESample{{PE: 0, Util: 0.5}})
+	fut.Send(IntroUnregistered{Seq: 7}) // want "never gob-registered"
+}

@@ -98,6 +98,17 @@ func newRTMetrics(rt *Runtime, reg *metrics.Registry) *rtMetrics {
 		reg.GaugeFunc(fmt.Sprintf("charmgo_mailbox_depth{pe=%q}", fmt.Sprint(gpe)),
 			"messages currently queued in the PE mailbox",
 			func() int64 { return int64(mbox.len()) })
+		if rt.cfg.Trace != nil {
+			lpe := i
+			reg.GaugeFunc(fmt.Sprintf("charmgo_trace_dropped_total{pe=%q}", fmt.Sprint(gpe)),
+				"trace events lost to the PE's ring-buffer overwrites",
+				func() int64 {
+					if tr := rt.cfg.Trace; tr != nil {
+						return int64(tr.DroppedByPE(lpe))
+					}
+					return 0
+				})
+		}
 	}
 	return m
 }
@@ -109,9 +120,10 @@ type traceReportMsg struct {
 	Report trace.Report
 }
 
-// traceGatherTimeout bounds node 0's wait for remote reports, so a crashed
-// peer cannot wedge the exit path.
-const traceGatherTimeout = 3 * time.Second
+// defaultTraceGatherTimeout bounds node 0's wait for remote reports when
+// Config.TraceGatherTimeout is unset, so a crashed peer cannot wedge the
+// exit path.
+const defaultTraceGatherTimeout = 3 * time.Second
 
 // gatherTraces runs after the node's PEs have drained. Non-zero nodes ship
 // their report to node 0; node 0 collects reports from every peer (plus its
@@ -128,7 +140,11 @@ func (rt *Runtime) gatherTraces() {
 		return
 	}
 	rt.gathered = append(rt.gathered, tr.Report(0))
-	deadline := time.After(traceGatherTimeout)
+	timeout := rt.cfg.TraceGatherTimeout
+	if timeout <= 0 {
+		timeout = defaultTraceGatherTimeout
+	}
+	deadline := time.After(timeout)
 	for len(rt.gathered) < rt.numNodes {
 		select {
 		case rep := <-rt.traceRepCh:

@@ -36,7 +36,17 @@ type peState struct {
 
 	lbRoot map[CID]*lbRootState
 
+	// forced-LB rounds triggered through introspection (core/introspect.go);
+	// only populated on a collection's root PE while a round is in flight.
+	introLB    map[CID]*introLBState
+	introLBSeq int64
+
 	ftG map[int64]*ftGatherState // in-flight ft checkpoint gathers (node-first PE)
+
+	// stats are the cumulative counters behind live introspection sampling,
+	// written by the scheduler only when a sampler is attached and read by
+	// the sampler goroutine (hence atomics).
+	stats peStats
 
 	exiting bool
 }
@@ -154,6 +164,9 @@ func (p *peState) loop() {
 		if met := p.rt.met; met != nil {
 			met.peRecvs[lpe].Inc()
 		}
+		if sm := p.rt.sampler; sm != nil {
+			p.stats.recvs.Add(1)
+		}
 		p.rt.qdCountRecv(m.Kind)
 		p.handle(m)
 		// Zero-copy broadcast fan-out: the same *Message was queued to every
@@ -235,6 +248,16 @@ func (p *peState) handle(m *Message) {
 		if sm := m.Ctl.(*ftSeqMsg); sm.Seq > p.cidSeq {
 			p.cidSeq = sm.Seq
 		}
+	case mIntroSample:
+		p.introSample(m.Ctl.(*introSampleMsg).Seq)
+	case mIntroLB:
+		p.introLBStart(m.Ctl.(*introLBMsg).CID)
+	case mIntroLBPoll:
+		p.introLBPoll(m.Ctl.(*introLBPollMsg))
+	case mIntroLBStats:
+		p.introLBStats(m.Ctl.(*introLBStatsMsg))
+	case mIntroLBMoves:
+		p.introLBMoves(m.Ctl.(*introLBMovesMsg))
 	case mPing:
 		p.rt.sendFutureSet(m.Fut, nil)
 	case mChanMsg:
@@ -600,9 +623,17 @@ func (p *peState) invokeEMInner(el *element, info *emInfo, m *Message) {
 	}
 	atomic.AddInt64(&p.rt.qd.running, 1)
 	start := time.Now()
+	if sm := p.rt.sampler; sm != nil {
+		p.stats.emStart.Store(start.UnixNano())
+	}
 	ret := p.callEM(el, info, args)
 	dur := time.Since(start)
 	el.load += dur
+	if sm := p.rt.sampler; sm != nil {
+		p.stats.emStart.Store(0)
+		p.stats.busy.Add(int64(dur))
+		p.stats.ems.Add(1)
+	}
 	atomic.AddInt64(&p.rt.qd.running, -1)
 	if tr := p.rt.cfg.Trace; tr != nil {
 		tr.EM(p.lpe(), el.coll.ct.name, info.name, tr.Since()-dur, dur)
@@ -716,6 +747,9 @@ func (p *peState) runThreaded(el *element, info *emInfo, m *Message, args []any)
 	p.curThread = th
 	atomic.AddInt64(&p.rt.qd.running, 1)
 	th.segStart = time.Now()
+	if sm := p.rt.sampler; sm != nil {
+		p.stats.emStart.Store(th.segStart.UnixNano())
+	}
 	go func() {
 		var pv any
 		func() {
@@ -741,6 +775,13 @@ func (p *peState) waitYield() {
 	seg := time.Since(y.th.segStart)
 	el.load += seg
 	p.curThread = nil
+	if sm := p.rt.sampler; sm != nil {
+		p.stats.emStart.Store(0)
+		p.stats.busy.Add(int64(seg))
+		if y.done {
+			p.stats.ems.Add(1)
+		}
+	}
 	atomic.AddInt64(&p.rt.qd.running, -1)
 	if tr := p.rt.cfg.Trace; tr != nil {
 		// threaded entry methods are traced as run segments
@@ -782,6 +823,9 @@ func (p *peState) resumeThread(th *emThread) {
 	p.curThread = th
 	atomic.AddInt64(&p.rt.qd.running, 1)
 	th.segStart = time.Now()
+	if sm := p.rt.sampler; sm != nil {
+		p.stats.emStart.Store(th.segStart.UnixNano())
+	}
 	th.resume <- struct{}{}
 	p.waitYield()
 }

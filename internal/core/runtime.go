@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"charmgo/internal/introspect"
 	"charmgo/internal/metrics"
 	"charmgo/internal/ser"
 	"charmgo/internal/trace"
@@ -97,6 +98,26 @@ type Config struct {
 	// ablation switch: the same program measured with and without typed
 	// dispatch/codecs (cmd/dispatchbench, BENCH_dispatch.json).
 	DisableGenerated bool
+	// SampleInterval, when > 0, turns on live introspection sampling (see
+	// internal/introspect and core/introspect.go): every node snapshots its
+	// PEs and collections at this period and node 0 assembles the cluster
+	// view served at /introspect. 0 (the default) disables sampling — the
+	// hot path then pays one predicted branch per event site and nothing
+	// else.
+	SampleInterval time.Duration
+	// SampleTopK bounds the hottest-elements list each collection reports
+	// per sample. 0 selects the default (5).
+	SampleTopK int
+	// Introspect, when non-nil, is the cluster-introspection holder the
+	// runtime wires at Start (node 0 fills it with every node's snapshots).
+	// Pass the same *introspect.Cluster to metrics.Serve to expose it. Nil
+	// with SampleInterval > 0 makes the runtime create one (reachable via
+	// Runtime.Introspect).
+	Introspect *introspect.Cluster
+	// TraceGatherTimeout bounds how long node 0 waits for the other nodes'
+	// trace reports after the job exits (TraceGather); nodes that crashed
+	// mid-job never report. 0 selects the default (3s).
+	TraceGatherTimeout time.Duration
 	// FT, when non-nil, enables in-memory double checkpointing (see ft.go
 	// and internal/ft): Chare.FTCheckpoint ships each node's snapshot to its
 	// buddy through this store, and RestartFromMemory restores a failed
@@ -158,6 +179,10 @@ type Runtime struct {
 	met        *rtMetrics        // nil unless Config.Metrics is set
 	traceRepCh chan trace.Report // node 0 gather channel (TraceGather)
 	gathered   []trace.Report    // node 0: all node reports after Start
+
+	// live introspection (core/introspect.go)
+	sampler *sampler            // nil unless Config.SampleInterval > 0
+	intro   *introspect.Cluster // nil unless introspection is configured
 
 	// test/diagnostic counters (atomics; the send path is hot)
 	nMsgsLocal atomic.Int64
@@ -252,6 +277,9 @@ func (rt *Runtime) Start(entry func(self *Chare)) {
 	if rt.cfg.Metrics != nil {
 		rt.met = newRTMetrics(rt, rt.cfg.Metrics)
 	}
+	if rt.cfg.Introspect != nil || rt.cfg.SampleInterval > 0 {
+		rt.setupIntrospect()
+	}
 	if tr := rt.cfg.Transport; tr != nil {
 		if rt.numNodes > 1 && rt.cfg.BatchBytes >= 0 {
 			rt.agg = newAggregator(rt, rt.cfg.BatchBytes, rt.cfg.FlushInterval)
@@ -265,10 +293,16 @@ func (rt *Runtime) Start(entry func(self *Chare)) {
 			p.loop()
 		}(p)
 	}
+	if rt.sampler != nil {
+		go rt.sampler.loop()
+	}
 	if rt.nodeID == 0 {
 		rt.pes[0].mbox.push(&Message{Kind: mStartMain, Src: -1})
 	}
 	rt.wg.Wait()
+	if rt.sampler != nil {
+		rt.sampler.shutdown()
+	}
 	if rt.agg != nil {
 		rt.agg.shutdown()
 	}
@@ -639,6 +673,13 @@ func (rt *Runtime) ingress(from int, frame []byte) (*Message, PE, bool) {
 				default: // duplicate or over-capacity report: drop
 				}
 			}
+		}
+		return nil, 0, false
+	}
+	if m.Kind == mIntroReport {
+		rt.ordRecvFrom(from)
+		if rm, ok := m.Ctl.(*introReportMsg); ok {
+			rt.introReport(rm)
 		}
 		return nil, 0, false
 	}

@@ -81,6 +81,16 @@ const (
 	mFTRestore // recovery coordinator asks a node what snapshots it holds
 	mFTInject  // recovery coordinator orders a holder to re-inject origins
 	mFTSeq     // post-recovery collection-id sequence floor broadcast
+
+	// live introspection (core/introspect.go). None of these kinds is
+	// counted by quiescence detection (countableKind): sampling is an
+	// observer and must not keep a job out of quiescence.
+	mIntroSample  // sampler asks a local PE for its collection profile
+	mIntroReport  // a node's snapshot relayed up the tree toward node 0
+	mIntroLB      // forced-LB trigger to a collection's root PE
+	mIntroLBPoll  // root's load-stats poll broadcast
+	mIntroLBStats // one PE's poll reply
+	mIntroLBMoves // root's forced move orders broadcast
 )
 
 // idxKey converts an element index to a compact map key. The scratch buffer

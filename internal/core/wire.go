@@ -21,6 +21,8 @@ func init() {
 		ckptBundle{}, &chanMsg{}, &traceReportMsg{},
 		&ftCollectMsg{}, &ftBundleMsg{}, &ftBlobMsg{}, &ftRestoreMsg{},
 		&ftInjectMsg{}, &ftSeqMsg{}, ftHoldingsMsg{}, ftInjectAck{},
+		&introReportMsg{}, &introLBMsg{}, &introLBPollMsg{},
+		&introLBStatsMsg{}, &introLBMovesMsg{},
 	} {
 		ser.RegisterType(v)
 	}

@@ -118,6 +118,16 @@ func (d *Detector) NodeID() int { return d.self }
 // NumNodes implements transport.Transport.
 func (d *Detector) NumNodes() int { return d.n }
 
+// PeerAlive reports whether a peer has not been declared dead. The
+// introspection layer (core/introspect.go) probes the configured transport
+// for this method to mark dead nodes in the served cluster snapshot.
+func (d *Detector) PeerAlive(node int) bool {
+	if node < 0 || node >= d.n {
+		return false
+	}
+	return !d.dead[node].Load()
+}
+
 // Send implements transport.Transport. Sends to peers already declared
 // dead are silently dropped: the runtime above has been told and failures
 // must not cascade into panics while it tears down.

@@ -16,6 +16,20 @@ type TraceSource interface {
 	WriteJSON(w io.Writer) error
 }
 
+// IntrospectSource is the live cluster-introspection view behind the
+// /introspect endpoints — satisfied by *introspect.Cluster (an interface so
+// metrics doesn't import introspect). See DESIGN.md §3.6.
+type IntrospectSource interface {
+	// WriteSnapshotJSON writes the assembled cluster snapshot as JSON.
+	WriteSnapshotJSON(w io.Writer) error
+	// WriteTraceWindow exports the last `window` of the live trace as
+	// Chrome trace-event JSON.
+	WriteTraceWindow(w io.Writer, window time.Duration) error
+	// TriggerLB starts a forced load-balancing round and writes the JSON
+	// result.
+	TriggerLB(w io.Writer) error
+}
+
 // Server is a running debug endpoint.
 type Server struct {
 	ln  net.Listener
@@ -32,13 +46,17 @@ func (s *Server) Close() error {
 
 // Serve starts the debug HTTP endpoint on addr, exposing:
 //
-//	/metrics      registry text exposition
-//	/trace        trace snapshot as JSON (404 if no tracer attached)
-//	/debug/pprof  the stdlib profiler suite
+//	/metrics          registry text exposition
+//	/trace            trace snapshot as JSON (404 if no tracer attached)
+//	/introspect       live cluster snapshot as JSON (404 without sampling)
+//	/introspect/trace Chrome export of the live trace window (?window=5s)
+//	/introspect/lb    POST: trigger a forced load-balancing round
+//	/debug/pprof      the stdlib profiler suite
 //
 // A dedicated mux keeps this off http.DefaultServeMux. Returns once the
 // listener is bound; serving continues in the background until Close.
-func Serve(addr string, reg *Registry, tr TraceSource) (*Server, error) {
+// is may be nil (no introspection on this node).
+func Serve(addr string, reg *Registry, tr TraceSource, is IntrospectSource) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
@@ -55,6 +73,49 @@ func Serve(addr string, reg *Registry, tr TraceSource) (*Server, error) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := tr.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/introspect", func(w http.ResponseWriter, _ *http.Request) {
+		if is == nil {
+			http.Error(w, "introspection not enabled on this node", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := is.WriteSnapshotJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/introspect/trace", func(w http.ResponseWriter, r *http.Request) {
+		if is == nil {
+			http.Error(w, "introspection not enabled on this node", http.StatusNotFound)
+			return
+		}
+		window := 5 * time.Second
+		if s := r.URL.Query().Get("window"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil || d <= 0 {
+				http.Error(w, fmt.Sprintf("bad window %q (want a Go duration, e.g. 5s)", s), http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := is.WriteTraceWindow(w, window); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/introspect/lb", func(w http.ResponseWriter, r *http.Request) {
+		if is == nil {
+			http.Error(w, "introspection not enabled on this node", http.StatusNotFound)
+			return
+		}
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST to trigger a load-balancing round", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := is.TriggerLB(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"charmgo/internal/leakcheck"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_test", "quantile test")
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %v, want 0", got)
+	}
+	// 100 observations of 100: every quantile lands in bucket [64,128).
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	for _, p := range []float64{0.01, 0.5, 0.99} {
+		if q := h.Quantile(p); q < 64 || q > 128 {
+			t.Errorf("Quantile(%v) = %v, want within [64,128]", p, q)
+		}
+	}
+	// Quantiles are monotone in p and exact at bucket boundaries when the
+	// rank falls on one.
+	h2 := reg.Histogram("q_test2", "quantile test")
+	for i := 0; i < 50; i++ {
+		h2.Observe(10) // bucket [8,16)
+	}
+	for i := 0; i < 50; i++ {
+		h2.Observe(1000) // bucket [512,1024)
+	}
+	p50, p99 := h2.Quantile(0.5), h2.Quantile(0.99)
+	if p50 > 16 {
+		t.Errorf("bimodal p50 = %v, want <= 16", p50)
+	}
+	if p99 < 512 || p99 > 1024 {
+		t.Errorf("bimodal p99 = %v, want in [512,1024]", p99)
+	}
+	if p99 < p50 {
+		t.Errorf("quantiles not monotone: p50 %v > p99 %v", p50, p99)
+	}
+	// Out-of-range p clamps instead of panicking.
+	if q := h2.Quantile(-1); q != h2.Quantile(0) {
+		t.Errorf("Quantile(-1) = %v, want clamp to p=0", q)
+	}
+	if q := h2.Quantile(2); math.IsNaN(q) {
+		t.Error("Quantile(2) = NaN")
+	}
+
+	// Zero and negative observations stay in bucket 0 -> quantile 0.
+	h3 := reg.Histogram("q_test3", "quantile test")
+	h3.Observe(0)
+	h3.Observe(-5)
+	if got := h3.Quantile(0.99); got != 0 {
+		t.Errorf("non-positive-only Quantile = %v, want 0", got)
+	}
+}
+
+func TestWriteTextQuantileLines(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("charmgo_batch_bytes{node=\"0\"}", "flush sizes")
+	h.Observe(100)
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"charmgo_batch_bytes_p50{node=\"0\"}",
+		"charmgo_batch_bytes_p99{node=\"0\"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// fakeIntro is a minimal IntrospectSource whose bodies are distinguishable.
+type fakeIntro struct{ lbCalls sync.Map }
+
+func (f *fakeIntro) WriteSnapshotJSON(w io.Writer) error {
+	_, err := io.WriteString(w, `{"nodes":1,"totalPEs":2,"node":[]}`)
+	return err
+}
+
+func (f *fakeIntro) WriteTraceWindow(w io.Writer, window time.Duration) error {
+	_, err := fmt.Fprintf(w, `{"traceEvents":[],"window":%q}`, window)
+	return err
+}
+
+func (f *fakeIntro) TriggerLB(w io.Writer) error {
+	f.lbCalls.Store(time.Now().UnixNano(), true)
+	_, err := io.WriteString(w, `{"triggered":[]}`)
+	return err
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeIntrospectEndpoints(t *testing.T) {
+	leakcheck.Check(t)
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg, nil, &fakeIntro{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/introspect"); code != 200 || !strings.Contains(body, `"nodes":1`) {
+		t.Errorf("/introspect = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/introspect/trace?window=3s"); code != 200 || !strings.Contains(body, `"3s"`) {
+		t.Errorf("/introspect/trace = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/introspect/trace?window=bogus"); code != 400 {
+		t.Errorf("bad window = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/introspect/lb"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /introspect/lb = %d, want 405", code)
+	}
+	resp, err := http.Post(base+"/introspect/lb", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "triggered") {
+		t.Errorf("POST /introspect/lb = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestServeNilIntrospect(t *testing.T) {
+	leakcheck.Check(t)
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	for _, path := range []string{"/introspect", "/introspect/trace", "/introspect/lb"} {
+		if code, _ := get(t, base+path); code != http.StatusNotFound {
+			t.Errorf("%s without source = %d, want 404", path, code)
+		}
+	}
+}
+
+// TestServeConcurrentScrapeHammer scrapes /metrics and /introspect from many
+// goroutines while counters update — under -race this is the satellite guard
+// for the debug endpoint's thread-safety.
+func TestServeConcurrentScrapeHammer(t *testing.T) {
+	leakcheck.Check(t)
+	reg := NewRegistry()
+	c := reg.Counter("hammer_total", "hammered")
+	srv, err := Serve("127.0.0.1:0", reg, nil, &fakeIntro{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	stop := make(chan struct{})
+	var upd sync.WaitGroup
+	upd.Add(1)
+	go func() {
+		defer upd.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Inc()
+				reg.Histogram("hammer_bytes", "sizes").Observe(int64(c.Value()))
+			}
+		}
+	}()
+
+	const scrapers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < scrapers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			paths := []string{"/metrics", "/introspect", "/introspect/trace?window=1s"}
+			for j := 0; j < 25; j++ {
+				if code, _ := get(t, base+paths[(i+j)%len(paths)]); code != 200 {
+					t.Errorf("scrape %d/%d: status %d", i, j, code)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	upd.Wait()
+}

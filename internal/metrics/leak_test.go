@@ -14,7 +14,7 @@ func TestServerCloseNoGoroutineLeak(t *testing.T) {
 	leakcheck.Check(t)
 	reg := NewRegistry()
 	reg.Counter("leak_test_total", "leak test counter").Inc()
-	srv, err := Serve("127.0.0.1:0", reg, nil)
+	srv, err := Serve("127.0.0.1:0", reg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

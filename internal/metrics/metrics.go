@@ -92,6 +92,47 @@ func (h *Histogram) Buckets() [HistBuckets]int64 {
 	return out
 }
 
+// Quantile estimates the p-quantile (p in [0,1]) of the observed values by
+// linear interpolation inside the power-of-2 bucket containing the target
+// rank: bucket i (i >= 1) spans [2^(i-1), 2^i). The estimate is exact at
+// bucket boundaries and within a factor of 2 anywhere else — plenty for the
+// byte-size and latency distributions these histograms hold. Returns 0 when
+// nothing was observed.
+func (h *Histogram) Quantile(p float64) float64 {
+	bk := h.Buckets()
+	var total int64
+	for _, c := range bk {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	var cum int64
+	for i, c := range bk {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == 0 {
+				return 0 // bucket 0 holds v <= 0
+			}
+			lo := float64(int64(1) << uint(i-1))
+			hi := float64(int64(1) << uint(i))
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return float64(int64(1) << uint(HistBuckets-1))
+}
+
 // instrument is the registry's view of one named metric.
 type instrument struct {
 	name string
@@ -186,6 +227,10 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 		}
 		fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum())
 		fmt.Fprintf(w, "%s_count %d\n", n, h.Count())
+		if h.Count() > 0 {
+			fmt.Fprintf(w, "%s %g\n", suffixName(n, "_p50"), h.Quantile(0.5))
+			fmt.Fprintf(w, "%s %g\n", suffixName(n, "_p99"), h.Quantile(0.99))
+		}
 	})
 	hh, ok := got.(*Histogram)
 	if !ok {
@@ -207,6 +252,17 @@ func (r *Registry) WriteText(w io.Writer) {
 		}
 		in.read(w, in.name)
 	}
+}
+
+// suffixName appends a suffix to a metric name, keeping any label set in
+// place: suffixName(`foo{pe="1"}`, "_p50") is `foo_p50{pe="1"}`.
+func suffixName(name, suffix string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			return name[:i] + suffix + name[i:]
+		}
+	}
+	return name + suffix
 }
 
 // baseName strips a trailing {label="..."} set from a metric name.

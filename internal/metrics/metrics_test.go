@@ -155,7 +155,7 @@ func (fakeTrace) WriteJSON(w io.Writer) error {
 func TestServeEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("served_total", "help").Add(9)
-	srv, err := Serve("127.0.0.1:0", reg, fakeTrace{})
+	srv, err := Serve("127.0.0.1:0", reg, fakeTrace{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestServeEndpoints(t *testing.T) {
 }
 
 func TestServeNilTrace(t *testing.T) {
-	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -130,12 +130,14 @@ type Tracer struct {
 
 // shard is one PE's event ring. Until the ring reaches cap events it grows
 // by appending; afterwards the oldest event is overwritten (next is the
-// overwrite cursor) and the tracer-wide dropped counter increments.
+// overwrite cursor) and both the shard's and the tracer-wide dropped
+// counters increment.
 type shard struct {
-	mu   sync.Mutex
-	ev   []Event
-	next int
-	full bool
+	mu      sync.Mutex
+	ev      []Event
+	next    int
+	full    bool
+	dropped atomic.Uint64
 }
 
 // New creates a tracer for numPEs local PEs with the default event cap.
@@ -169,6 +171,15 @@ func (t *Tracer) NumPEs() int { return len(t.shard) }
 // Dropped returns the number of events lost to ring-buffer overwrites.
 func (t *Tracer) Dropped() uint64 { return t.dropped.Load() }
 
+// DroppedByPE returns one local PE's ring-buffer losses (0 for out-of-range
+// PEs). Metrics exposes these as charmgo_trace_dropped_total{pe=...}.
+func (t *Tracer) DroppedByPE(pe int) uint64 {
+	if pe < 0 || pe >= len(t.shard) {
+		return 0
+	}
+	return t.shard[pe].dropped.Load()
+}
+
 func (t *Tracer) bucket(pe int) *shard {
 	if pe >= 0 && pe < len(t.shard) {
 		return &t.shard[pe]
@@ -189,6 +200,7 @@ func (t *Tracer) record(pe int, e Event) {
 			b.next = 0
 		}
 		b.full = true
+		b.dropped.Add(1)
 		t.dropped.Add(1)
 	}
 	b.mu.Unlock()
@@ -343,6 +355,7 @@ type Report struct {
 	StartUnixNano int64
 	Wall          time.Duration
 	Dropped       uint64
+	DroppedPE     []uint64 // per local PE ring-buffer losses
 	Events        []Event
 	// CommBytes/CommMsgs are TotalPEs×TotalPEs row-major src×dst matrices;
 	// only rows for this node's PEs are populated (each node accounts its
@@ -361,7 +374,11 @@ func (t *Tracer) Report(node int) Report {
 		StartUnixNano: t.start.UnixNano(),
 		Wall:          t.Since(),
 		Dropped:       t.Dropped(),
+		DroppedPE:     make([]uint64, len(t.shard)),
 		Events:        t.Snapshot(),
+	}
+	for i := range t.shard {
+		r.DroppedPE[i] = t.shard[i].dropped.Load()
 	}
 	if r.TotalPEs == 0 {
 		r.TotalPEs = len(t.shard)
@@ -371,6 +388,39 @@ func (t *Tracer) Report(node int) Report {
 		r.CommMsgs = atomicCopy(t.commMsgs)
 	}
 	return r
+}
+
+// WindowReport is Report restricted to the last `window` of activity: only
+// events whose span intersects [now-window, now] are kept. window <= 0
+// keeps everything. This is the live on-demand export behind
+// /introspect/trace — a running job's recent timeline without waiting for
+// the exit-time gather.
+func (t *Tracer) WindowReport(node int, window time.Duration) Report {
+	r := t.Report(node)
+	if window <= 0 || window >= r.Wall {
+		return r
+	}
+	cut := r.Wall - window
+	kept := make([]Event, 0, len(r.Events))
+	for _, e := range r.Events {
+		if e.At+e.Dur >= cut {
+			kept = append(kept, e)
+		}
+	}
+	r.Events = kept
+	return r
+}
+
+// CommRows returns a copy of n consecutive source rows of the wire-byte
+// communication matrix starting at global PE base (n × TotalPEs, row-major).
+// Nil until SetTopology. The introspection sampler ships a node's own rows
+// in its NodeSnapshot so node 0 can assemble the live PE×PE matrix.
+func (t *Tracer) CommRows(base, n int) []int64 {
+	tp := t.totalPEs
+	if t.commBytes == nil || base < 0 || n <= 0 || (base+n)*tp > len(t.commBytes) {
+		return nil
+	}
+	return atomicCopy(t.commBytes[base*tp : (base+n)*tp])
 }
 
 func atomicCopy(src []int64) []int64 {
@@ -491,11 +541,12 @@ func (s Summary) Fprint(w io.Writer) {
 
 // PEStat is one global PE's aggregate activity.
 type PEStat struct {
-	Busy  time.Duration
-	Idle  time.Duration
-	EMs   int
-	Sends int
-	Recvs int
+	Busy    time.Duration
+	Idle    time.Duration
+	EMs     int
+	Sends   int
+	Recvs   int
+	Dropped uint64 // trace events lost by this PE's ring buffer
 }
 
 // GlobalSummary aggregates the reports of every node of a job.
@@ -529,6 +580,11 @@ func Aggregate(reports []Report) GlobalSummary {
 	g.PE = make([]PEStat, g.TotalPEs)
 	byMethod := map[string]*MethodStat{}
 	for _, r := range reports {
+		for i, d := range r.DroppedPE {
+			if gpe := r.BasePE + i; gpe >= 0 && gpe < g.TotalPEs {
+				g.PE[gpe].Dropped += d
+			}
+		}
 		for _, e := range r.Events {
 			gpe := e.PE
 			if gpe >= 0 && gpe < r.NumPEs {
@@ -609,8 +665,12 @@ func (g GlobalSummary) Fprint(w io.Writer) {
 	fmt.Fprintln(w)
 	util := g.Utilization()
 	for pe, st := range g.PE {
-		fmt.Fprintf(w, "  PE %-3d busy %5.1f%% idle %5.1f%%  ems %-7d sends %-7d recvs %d\n",
+		fmt.Fprintf(w, "  PE %-3d busy %5.1f%% idle %5.1f%%  ems %-7d sends %-7d recvs %d",
 			pe, util[pe]*100, idleFrac(st.Idle, g.Wall)*100, st.EMs, st.Sends, st.Recvs)
+		if st.Dropped > 0 {
+			fmt.Fprintf(w, "  dropped %d", st.Dropped)
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "  %-32s %8s %12s %12s %12s\n", "entry method", "count", "total", "mean", "max")
 	for _, m := range g.Methods {

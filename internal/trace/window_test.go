@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowReportCutsOldEvents(t *testing.T) {
+	tr := New(1)
+	tr.EM(0, "Old", "M", 0, time.Millisecond)
+	tr.EM(0, "New", "M", time.Hour, time.Millisecond) // At far beyond any cut
+	time.Sleep(50 * time.Millisecond)                 // Wall must exceed the window
+
+	r := tr.WindowReport(0, 10*time.Millisecond)
+	if len(r.Events) != 1 || r.Events[0].Chare != "New" {
+		t.Fatalf("windowed events = %+v, want only the recent one", r.Events)
+	}
+	// A straddling event (starts before the cut, ends inside it) is kept.
+	tr.EM(0, "Straddle", "M", 0, 2*time.Hour)
+	r = tr.WindowReport(0, 10*time.Millisecond)
+	if len(r.Events) != 2 {
+		t.Fatalf("straddling event not kept: %+v", r.Events)
+	}
+}
+
+func TestWindowReportFullPaths(t *testing.T) {
+	tr := New(1)
+	tr.EM(0, "A", "M", 0, time.Millisecond)
+	if r := tr.WindowReport(0, 0); len(r.Events) != 1 {
+		t.Errorf("window 0 (= everything) kept %d events", len(r.Events))
+	}
+	if r := tr.WindowReport(0, time.Hour); len(r.Events) != 1 {
+		t.Errorf("window > wall kept %d events", len(r.Events))
+	}
+}
+
+func TestDroppedByPE(t *testing.T) {
+	const cap = 8
+	tr := NewWithCap(2, cap)
+	for i := 0; i < 3*cap; i++ {
+		tr.EM(0, "A", "M", time.Duration(i), 1)
+	}
+	tr.EM(1, "B", "M", 0, 1)
+	if got := tr.DroppedByPE(0); got != 2*cap {
+		t.Errorf("DroppedByPE(0) = %d, want %d", got, 2*cap)
+	}
+	if got := tr.DroppedByPE(1); got != 0 {
+		t.Errorf("DroppedByPE(1) = %d, want 0", got)
+	}
+	if got := tr.DroppedByPE(99); got != 0 {
+		t.Errorf("DroppedByPE(out of range) = %d, want 0", got)
+	}
+	rep := tr.Report(0)
+	if len(rep.DroppedPE) != 2 || rep.DroppedPE[0] != 2*cap || rep.DroppedPE[1] != 0 {
+		t.Errorf("Report.DroppedPE = %v", rep.DroppedPE)
+	}
+}
+
+func TestCommRows(t *testing.T) {
+	tr := New(2)
+	if rows := tr.CommRows(0, 2); rows != nil {
+		t.Errorf("CommRows before SetTopology = %v, want nil", rows)
+	}
+	tr.SetTopology(4, 2) // this node hosts global PEs 2,3 of 4
+	tr.Comm(2, 0, 100)
+	tr.Comm(3, 3, 7)
+
+	rows := tr.CommRows(2, 2)
+	if len(rows) != 8 {
+		t.Fatalf("len(rows) = %d, want 2*4", len(rows))
+	}
+	if rows[0] != 100 { // PE 2 -> PE 0
+		t.Errorf("PE2->PE0 = %d, want 100", rows[0])
+	}
+	if rows[4+3] != 7 { // PE 3 -> PE 3
+		t.Errorf("PE3->PE3 = %d, want 7", rows[7])
+	}
+	for _, bad := range [][2]int{{-1, 2}, {0, 0}, {3, 2}} {
+		if r := tr.CommRows(bad[0], bad[1]); r != nil {
+			t.Errorf("CommRows(%d, %d) = %v, want nil", bad[0], bad[1], r)
+		}
+	}
+}
