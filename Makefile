@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint charmvet race fuzz bench collectives vet profile chaos gen gencheck bench/dispatch introspect
+.PHONY: all build test check lint charmvet vet-baseline race fuzz bench collectives vet profile chaos gen gencheck bench/dispatch introspect
 
 all: build
 
@@ -15,9 +15,19 @@ vet:
 
 # charmvet enforces the CharmGo model invariants the compiler cannot see
 # (entry-method signatures, gob safety, PE-blocking calls, nil-guarded
-# instrumentation, wire-buffer ownership). See DESIGN.md §3.3.
+# instrumentation, wire-buffer ownership, zero-copy alias lifetimes,
+# migration safety, entry-method races). See DESIGN.md §3.3 and §3.7.
+# The JSON report is schema-checked by vetcheck, which fails on any finding
+# not recorded in the committed baseline (charmvet_baseline.json).
 charmvet:
-	$(GO) run ./cmd/charmvet ./...
+	$(GO) run ./cmd/charmvet -json -baseline charmvet_baseline.json ./... | $(GO) run ./cmd/vetcheck
+
+# vet-baseline regenerates charmvet_baseline.json from the current findings,
+# keeping justifications for entries that still occur. Use it only to accept
+# a finding deliberately — fixes should delete entries, and charmvet warns
+# about stale ones.
+vet-baseline:
+	$(GO) run ./cmd/charmvet -baseline charmvet_baseline.json -write-baseline ./...
 
 lint: vet charmvet
 

@@ -1,0 +1,103 @@
+// Command vetcheck validates a `charmvet -json` report and gates CI on it.
+// It reads the report from stdin (or a file argument), checks the document
+// against the published schema — known version, well-formed stable rule IDs
+// that resolve to registered analyzers, check names that match the rule,
+// module-relative slash-separated paths, 1-based positions, non-empty
+// messages — and exits non-zero if the report is malformed or contains any
+// findings. charmvet has already subtracted the committed baseline, so a
+// finding here is a new violation.
+//
+// Usage:
+//
+//	charmvet -json -baseline charmvet_baseline.json ./... | vetcheck
+//	vetcheck report.json
+//
+// Exit status: 0 for a valid, empty report; 1 for a valid report with
+// findings; 2 for a malformed report or read error.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"charmgo/internal/analysis"
+)
+
+func main() {
+	var (
+		data []byte
+		err  error
+		src  = "<stdin>"
+	)
+	switch len(os.Args) {
+	case 1:
+		data, err = io.ReadAll(os.Stdin)
+	case 2:
+		src = os.Args[1]
+		data, err = os.ReadFile(src)
+	default:
+		fmt.Fprintf(os.Stderr, "usage: vetcheck [report.json]  (default: stdin)\n")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vetcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var rep analysis.Report
+	if err := dec.Decode(&rep); err != nil {
+		fmt.Fprintf(os.Stderr, "vetcheck: %s: bad report: %v\n", src, err)
+		os.Exit(2)
+	}
+	if dec.More() {
+		fmt.Fprintf(os.Stderr, "vetcheck: %s: trailing data after report\n", src)
+		os.Exit(2)
+	}
+
+	bad := func(i int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "vetcheck: %s: finding %d: %s\n", src, i, fmt.Sprintf(format, args...))
+		os.Exit(2)
+	}
+	if rep.Version != analysis.ReportVersion {
+		fmt.Fprintf(os.Stderr, "vetcheck: %s: report version %d, want %d\n", src, rep.Version, analysis.ReportVersion)
+		os.Exit(2)
+	}
+	if rep.Findings == nil {
+		fmt.Fprintf(os.Stderr, "vetcheck: %s: findings must be a list, not null\n", src)
+		os.Exit(2)
+	}
+	for i, f := range rep.Findings {
+		if !analysis.RuleIDPattern.MatchString(f.Rule) {
+			bad(i, "malformed rule ID %q", f.Rule)
+		}
+		a := analysis.ByID(f.Rule)
+		if a == nil {
+			bad(i, "unknown rule ID %q", f.Rule)
+		}
+		if f.Check != a.Name {
+			bad(i, "check %q does not match rule %s (%s)", f.Check, f.Rule, a.Name)
+		}
+		if f.File == "" || strings.Contains(f.File, "\\") || strings.HasPrefix(f.File, "/") {
+			bad(i, "file %q is not a module-relative slash path", f.File)
+		}
+		if f.Line < 1 || f.Col < 1 {
+			bad(i, "position %d:%d is not 1-based", f.Line, f.Col)
+		}
+		if f.Message == "" {
+			bad(i, "empty message")
+		}
+	}
+
+	if n := len(rep.Findings); n > 0 {
+		for _, f := range rep.Findings {
+			fmt.Fprintf(os.Stderr, "vetcheck: new finding: %s:%d:%d: [%s %s] %s\n", f.File, f.Line, f.Col, f.Rule, f.Check, f.Message)
+		}
+		fmt.Fprintf(os.Stderr, "vetcheck: %d new finding(s); fix them or regenerate the baseline (make vet-baseline) with a justification\n", n)
+		os.Exit(1)
+	}
+}

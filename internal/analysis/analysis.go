@@ -33,14 +33,19 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
-// Analyzer is one named check.
+// Analyzer is one named check. ID is the stable machine-readable identifier
+// surfaced by `charmvet -json` and matched by the suppression baseline; it
+// never changes once assigned, even if the rule is renamed.
 type Analyzer struct {
 	Name string
+	ID   string
 	Doc  string
 	Run  func(*Pass)
 }
 
-// Pass is one analyzer's view of one package.
+// Pass is one analyzer's view of one package. Eng is the package's shared
+// engine (CFGs, entry methods, call summaries), built once and handed to
+// every analyzer over the package.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -48,6 +53,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 	Mod      *ModuleFacts
+	Eng      *Engine
 
 	diags      *[]Diagnostic
 	suppressed map[suppressKey]bool
@@ -105,8 +111,9 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) map[suppressKey
 
 // ModuleFacts carries cross-package knowledge shared by every pass:
 // which concrete types are registered with the gob fallback anywhere in the
-// module, and which types are registered as chares (the runtime registers
-// those with gob itself).
+// module, which types are registered as chares (the runtime registers
+// those with gob itself), and the module-wide type-graph cache the
+// structural rules (gobsafe, migratesafe) share.
 type ModuleFacts struct {
 	// GobRegistered holds types.TypeString keys (pointer stripped) of every
 	// type passed to ser.RegisterType or gob.Register in non-test module
@@ -115,6 +122,9 @@ type ModuleFacts struct {
 	// ChareRegistered holds type strings of prototypes passed to
 	// Runtime.Register (or pool-style wrappers calling it).
 	ChareRegistered map[string]bool
+	// TG memoizes field-graph walks (hidden fields, migratability, alias
+	// reachability) per type across the whole run.
+	TG *TypeGraph
 }
 
 // Run executes analyzers over packages, sharing one ModuleFacts, and
@@ -127,6 +137,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package, fset *token.FileSet) []Diagnost
 			continue
 		}
 		sup := collectSuppressions(fset, pkg.Files)
+		eng := newEngine(pkg, facts)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:   a,
@@ -135,6 +146,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package, fset *token.FileSet) []Diagnost
 				Pkg:        pkg.Types,
 				Info:       pkg.Info,
 				Mod:        facts,
+				Eng:        eng,
 				diags:      &diags,
 				suppressed: sup,
 			}
@@ -159,6 +171,7 @@ func gatherModuleFacts(pkgs []*Package) *ModuleFacts {
 	facts := &ModuleFacts{
 		GobRegistered:   map[string]bool{},
 		ChareRegistered: map[string]bool{},
+		TG:              newTypeGraph(),
 	}
 	for _, pkg := range pkgs {
 		if pkg.Info == nil {

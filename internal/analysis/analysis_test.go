@@ -25,7 +25,11 @@ func TestFixtures(t *testing.T) {
 		{"noblock", []*Analyzer{NoBlock}},
 		{"tracehook", []*Analyzer{TraceHook}},
 		{"sendown", []*Analyzer{SendOwn}},
+		{"sendowninter", []*Analyzer{SendOwn}},
 		{"genfresh", []*Analyzer{GenFresh}},
+		{"aliasescape", []*Analyzer{AliasEscape}},
+		{"migratesafe", []*Analyzer{MigrateSafe}},
+		{"charerace", []*Analyzer{ChareRace}},
 		{"clean", All},
 	}
 

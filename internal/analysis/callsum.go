@@ -1,0 +1,362 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// callsum.go is the one-level call-summary layer: for every function or
+// method declared in the analyzed package it computes, on demand, what the
+// callee does with each parameter. Rules consult summaries at call sites so
+// that passing a value to a same-package helper is no longer an analysis
+// horizon. Summaries are intraprocedural per callee but compose through
+// same-package call chains (memoized, cycle-guarded), which is the "one
+// level" the engine promises: no cross-package bodies are ever loaded.
+//
+// Two facts are computed per parameter:
+//
+//   - consumed: the callee transfers ownership of the parameter's buffer
+//     (passes it to SendBuf/PutBuf/xmit or a helper that does, including
+//     from deferred calls and spawned goroutines — by the time the caller
+//     regains control or any time after, the buffer belongs to the pool).
+//   - escapes: the callee stores the parameter (or a value derived from it)
+//     somewhere that outlives the call — a package-level variable, a field
+//     of any object, a channel — or hands it to a spawned goroutine.
+type Summaries struct {
+	eng      *Engine
+	consumed map[*types.Func][]bool
+	escapes  map[*types.Func][]ParamEscape
+	visiting map[*types.Func]bool
+}
+
+// ParamEscape says where one parameter escapes to inside the callee.
+type ParamEscape struct {
+	Heap      bool // stored to a global, field, map/slice element, or channel
+	Goroutine bool // captured by or passed to a spawned goroutine
+}
+
+// Escaped reports whether the parameter escapes the call at all.
+func (p ParamEscape) Escaped() bool { return p.Heap || p.Goroutine }
+
+func newSummaries(eng *Engine) *Summaries {
+	return &Summaries{
+		eng:      eng,
+		consumed: map[*types.Func][]bool{},
+		escapes:  map[*types.Func][]ParamEscape{},
+		visiting: map[*types.Func]bool{},
+	}
+}
+
+// paramObjects resolves a declared function's parameter objects in order.
+func paramObjects(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil) // unnamed parameter: nothing can flow
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, info.Defs[name])
+		}
+	}
+	return out
+}
+
+// Consumed returns the per-parameter ownership-consumption vector for a
+// function declared in this package, or nil when the body is unavailable
+// (cross-package callee, interface method) — callers treat nil as
+// "consumes nothing".
+func (s *Summaries) Consumed(fn *types.Func) []bool {
+	if v, ok := s.consumed[fn]; ok {
+		return v
+	}
+	fd := s.eng.FuncDecl(fn)
+	if fd == nil || fd.Body == nil {
+		s.consumed[fn] = nil
+		return nil
+	}
+	if s.visiting[fn] {
+		return nil // recursion: assume nothing until the outer frame settles
+	}
+	s.visiting[fn] = true
+	defer delete(s.visiting, fn)
+
+	params := paramObjects(s.eng.Pkg.Info, fd)
+	out := make([]bool, len(params))
+	info := s.eng.Pkg.Info
+	// The whole body is scanned, including deferred calls and goroutine
+	// literals: a transfer from either still happens before or concurrently
+	// with the caller's next use of the buffer.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, idx := range s.consumingArgs(info, call) {
+			if idx >= len(call.Args) {
+				continue
+			}
+			id, ok := ast.Unparen(call.Args[idx]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				continue
+			}
+			for i, p := range params {
+				if p != nil && p == obj {
+					out[i] = true
+				}
+			}
+		}
+		return true
+	})
+	s.consumed[fn] = out
+	return out
+}
+
+// consumingArgs returns the indexes of call's arguments whose ownership the
+// callee takes: the transport/runtime transfer primitives, plus any
+// same-package callee whose summary says it consumes that parameter.
+func (s *Summaries) consumingArgs(info *types.Info, call *ast.CallExpr) []int {
+	if idx, ok := ownershipArg(info, call); ok {
+		return []int{idx}
+	}
+	obj := calleeObject(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() != s.eng.Pkg.Types {
+		return nil
+	}
+	vec := s.Consumed(fn)
+	var out []int
+	for i, c := range vec {
+		if c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Escapes returns the per-parameter escape vector for a function declared in
+// this package, or nil when the body is unavailable.
+func (s *Summaries) Escapes(fn *types.Func) []ParamEscape {
+	if v, ok := s.escapes[fn]; ok {
+		return v
+	}
+	fd := s.eng.FuncDecl(fn)
+	if fd == nil || fd.Body == nil {
+		s.escapes[fn] = nil
+		return nil
+	}
+	if s.visiting[fn] {
+		return nil
+	}
+	s.visiting[fn] = true
+	defer delete(s.visiting, fn)
+
+	info := s.eng.Pkg.Info
+	params := paramObjects(info, fd)
+	out := make([]ParamEscape, len(params))
+
+	// Stores through the method receiver outlive the call just like stores
+	// through a pointer parameter: the receiver is a beyond-frame root even
+	// though it has no slot in the escape vector.
+	roots := params
+	if recv := receiverObj(info, fd); recv != nil {
+		roots = append(append([]types.Object{}, params...), recv)
+	}
+
+	// Flow-insensitive derived set: locals assigned a value mentioning a
+	// tracked object become tracked too (reference-typed only). Iterated to
+	// fixpoint — helpers are short, this converges in one or two rounds.
+	derived := map[types.Object]int{} // object -> originating param index
+	for i, p := range params {
+		if p != nil && refLike(p.Type()) {
+			derived[p] = i
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for li, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil || !refLike(obj.Type()) {
+					continue
+				}
+				if _, tracked := derived[obj]; tracked {
+					continue
+				}
+				var rhs ast.Expr
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[li]
+				} else if len(as.Rhs) == 1 {
+					rhs = as.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				if src, ok := mentionsTracked(info, rhs, derived); ok {
+					derived[obj] = src
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	mark := func(e ast.Expr, heap, gor bool) {
+		if src, ok := mentionsTracked(info, e, derived); ok {
+			if heap {
+				out[src].Heap = true
+			}
+			if gor {
+				out[src].Goroutine = true
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for li, lhs := range x.Lhs {
+				if !storesBeyondFrame(info, lhs, roots) {
+					continue
+				}
+				var rhs ast.Expr
+				if len(x.Rhs) == len(x.Lhs) {
+					rhs = x.Rhs[li]
+				} else if len(x.Rhs) == 1 {
+					rhs = x.Rhs[0]
+				}
+				if rhs != nil {
+					mark(rhs, true, false)
+				}
+			}
+		case *ast.SendStmt:
+			mark(x.Value, true, false)
+		case *ast.GoStmt:
+			// Anything the spawned call mentions — in its arguments, its
+			// callee expression, or a literal body — escapes to the goroutine.
+			mark(x.Call.Fun, false, true)
+			for _, a := range x.Call.Args {
+				mark(a, false, true)
+			}
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(c ast.Node) bool {
+					if id, ok := c.(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil {
+							if src, tracked := derived[obj]; tracked {
+								out[src].Goroutine = true
+							}
+						}
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			// Propagate through same-package callees (one-level summary).
+			obj := calleeObject(info, x)
+			fn2, ok := obj.(*types.Func)
+			if !ok || fn2.Pkg() != s.eng.Pkg.Types || fn2 == fn {
+				return true
+			}
+			vec := s.Escapes(fn2)
+			for i, pe := range vec {
+				if !pe.Escaped() || i >= len(x.Args) {
+					continue
+				}
+				mark(x.Args[i], pe.Heap, pe.Goroutine)
+			}
+		}
+		return true
+	})
+
+	s.escapes[fn] = out
+	return out
+}
+
+// mentionsTracked reports whether expr mentions a tracked object outside any
+// nested function literal, returning the originating parameter index.
+// Sanitizer calls (ser.Clone and friends) are skipped: their results are
+// fresh memory, so a helper that clones before storing does not escape its
+// parameter.
+func mentionsTracked(info *types.Info, expr ast.Expr, derived map[types.Object]int) (int, bool) {
+	src, found := -1, false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isAliasSanitizer(info, x) {
+				return false
+			}
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				if s, ok := derived[obj]; ok {
+					src, found = s, true
+				}
+			}
+		}
+		return true
+	})
+	return src, found
+}
+
+// storesBeyondFrame reports whether assigning through lhs writes memory that
+// outlives the function frame: a package-level variable, or a field/element
+// reached through a selector or index whose root is a package-level variable
+// or one of the function's (pointer-carrying) parameters.
+func storesBeyondFrame(info *types.Info, lhs ast.Expr, params []types.Object) bool {
+	root := lhs
+	for {
+		switch x := ast.Unparen(root).(type) {
+		case *ast.SelectorExpr:
+			root = x.X
+		case *ast.IndexExpr:
+			root = x.X
+		case *ast.StarExpr:
+			root = x.X
+		default:
+			id, ok := ast.Unparen(root).(*ast.Ident)
+			if !ok {
+				return false
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			if obj == nil {
+				return false
+			}
+			if v, ok := obj.(*types.Var); ok && v.Parent() != nil && v.Parent().Parent() == types.Universe {
+				return true // package-level variable
+			}
+			if root != lhs { // writing *through* the root, not rebinding it
+				for _, p := range params {
+					if p != nil && p == obj {
+						return true
+					}
+				}
+			}
+			return false
+		}
+	}
+}

@@ -1,0 +1,378 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file implements the control-flow graph the shared dataflow engine
+// (flow.go) runs over. It is the stdlib stand-in for x/tools/go/cfg, shaped
+// for charmvet's needs: every executable statement and every evaluated
+// condition appears in exactly one basic block, and nested function literals
+// are never inlined — a closure gets its own CFG when the caller asks for
+// one, because its execution time is unknown to the enclosing function.
+//
+// Block nodes are a flattened view of the source: a block never contains a
+// node with nested control flow. An *ast.IfStmt contributes its Init and
+// Cond to the predecessor block and its branches become separate blocks; a
+// *ast.RangeStmt contributes itself as a loop-head node (transfer functions
+// treat it as "evaluate X, then define Key/Value") with the body in its own
+// block. Statements that cannot complete normally (return, panic, os.Exit,
+// runtime.Goexit, log.Fatal*) end their block with no fallthrough successor.
+
+// Block is one basic block: nodes executed in order, then a jump to one of
+// Succs (none for function exit or no-return paths).
+type Block struct {
+	Nodes []ast.Node // stmts and evaluated exprs, control flow flattened out
+	Succs []*Block
+	Index int // position in CFG.Blocks, for deterministic iteration
+}
+
+// CFG is a function body's control-flow graph. Blocks[0] is the entry.
+type CFG struct {
+	Blocks []*Block
+}
+
+// BuildCFG constructs the CFG of one function body. The builder is
+// syntactic: it needs no type information except for recognizing no-return
+// calls, for which the caller may pass a non-nil noReturn predicate.
+func BuildCFG(body *ast.BlockStmt, noReturn func(*ast.CallExpr) bool) *CFG {
+	b := &cfgBuilder{noReturn: noReturn, labels: map[string]*labelInfo{}}
+	entry := b.newBlock()
+	exit := b.stmts(entry, body.List)
+	_ = exit
+	return &CFG{Blocks: b.blocks}
+}
+
+type labelInfo struct {
+	target   *Block // goto target / loop head once known
+	breaks   *Block // where a labeled break jumps (filled at loop build)
+	conts    *Block // where a labeled continue jumps
+	pending  []*Block
+	resolved bool
+}
+
+type cfgBuilder struct {
+	blocks   []*Block
+	noReturn func(*ast.CallExpr) bool
+	labels   map[string]*labelInfo
+
+	// curLabel is the label whose statement is currently being built, so the
+	// loop or switch it names can register its break/continue targets.
+	curLabel *labelInfo
+
+	// innermost loop/switch context for bare break/continue
+	breakTo []*Block
+	contTo  []*Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) label(name string) *labelInfo {
+	li, ok := b.labels[name]
+	if !ok {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+// stmts appends the statement list to cur and returns the block control
+// falls out of (nil if the list cannot complete normally).
+func (b *cfgBuilder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after a terminator still gets blocks so its
+			// uses are scanned (matching go/types, which type-checks it), but
+			// nothing flows in.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// stmt appends one statement and returns the fallthrough block (nil when the
+// statement terminates the path).
+func (b *cfgBuilder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, x.List)
+
+	case *ast.LabeledStmt:
+		li := b.label(x.Label.Name)
+		head := b.newBlock()
+		link(cur, head)
+		li.target = head
+		li.resolved = true
+		for _, p := range li.pending {
+			link(p, head)
+		}
+		li.pending = nil
+		// The labeled statement itself starts in head; loops consult the
+		// label for break/continue targets via b.curLabel.
+		b.curLabel = li
+		out := b.stmt(head, x.Stmt)
+		b.curLabel = nil
+		return out
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			cur.Nodes = append(cur.Nodes, x.Init)
+		}
+		cur.Nodes = append(cur.Nodes, x.Cond)
+		then := b.newBlock()
+		link(cur, then)
+		thenOut := b.stmts(then, x.Body.List)
+		after := b.newBlock()
+		link(thenOut, after)
+		if x.Else != nil {
+			els := b.newBlock()
+			link(cur, els)
+			elsOut := b.stmt(els, x.Else)
+			link(elsOut, after)
+		} else {
+			link(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			cur.Nodes = append(cur.Nodes, x.Init)
+		}
+		head := b.newBlock()
+		link(cur, head)
+		if x.Cond != nil {
+			head.Nodes = append(head.Nodes, x.Cond)
+		}
+		after := b.newBlock()
+		post := b.newBlock()
+		b.bindLoopLabel(head, after, post)
+		body := b.newBlock()
+		link(head, body)
+		if x.Cond != nil {
+			link(head, after)
+		}
+		b.pushLoop(after, post)
+		bodyOut := b.stmts(body, x.Body.List)
+		b.popLoop()
+		link(bodyOut, post)
+		if x.Post != nil {
+			post.Nodes = append(post.Nodes, x.Post)
+		}
+		link(post, head)
+		return b.reachableOrNil(after)
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		link(cur, head)
+		// The RangeStmt node stands for "evaluate X; define Key/Value".
+		// Transfer functions must not descend into x.Body when handling it.
+		head.Nodes = append(head.Nodes, x)
+		after := b.newBlock()
+		b.bindLoopLabel(head, after, head)
+		link(head, after)
+		body := b.newBlock()
+		link(head, body)
+		b.pushLoop(after, head)
+		bodyOut := b.stmts(body, x.Body.List)
+		b.popLoop()
+		link(bodyOut, head)
+		return after
+
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			cur.Nodes = append(cur.Nodes, x.Init)
+		}
+		if x.Tag != nil {
+			cur.Nodes = append(cur.Nodes, x.Tag)
+		}
+		return b.switchBody(cur, x.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			cur.Nodes = append(cur.Nodes, x.Init)
+		}
+		cur.Nodes = append(cur.Nodes, x.Assign)
+		return b.switchBody(cur, x.Body, nil)
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.pushLoop(after, nil) // break inside select
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			link(cur, blk)
+			if cc.Comm != nil {
+				blk.Nodes = append(blk.Nodes, cc.Comm)
+			}
+			out := b.stmts(blk, cc.Body)
+			link(out, after)
+		}
+		b.popLoop()
+		return b.reachableOrNil(after)
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, x)
+		return nil
+
+	case *ast.BranchStmt:
+		switch x.Tok {
+		case token.BREAK:
+			if x.Label != nil {
+				li := b.label(x.Label.Name)
+				if li.breaks != nil {
+					link(cur, li.breaks)
+				}
+			} else if n := len(b.breakTo); n > 0 {
+				link(cur, b.breakTo[n-1])
+			}
+			return nil
+		case token.CONTINUE:
+			if x.Label != nil {
+				li := b.label(x.Label.Name)
+				if li.conts != nil {
+					link(cur, li.conts)
+				}
+			} else if n := len(b.contTo); n > 0 && b.contTo[n-1] != nil {
+				link(cur, b.contTo[n-1])
+			}
+			return nil
+		case token.GOTO:
+			li := b.label(x.Label.Name)
+			if li.resolved {
+				link(cur, li.target)
+			} else {
+				li.pending = append(li.pending, cur)
+			}
+			return nil
+		case token.FALLTHROUGH:
+			// handled by switchBody via clause ordering
+			cur.Nodes = append(cur.Nodes, x)
+			return cur
+		}
+		return cur
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, x)
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok && b.isNoReturn(call) {
+			return nil
+		}
+		return cur
+
+	case *ast.EmptyStmt:
+		return cur
+
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt, DeferStmt, ...
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchBody lowers a (type) switch: every clause is entered from the head
+// block; fallthrough chains clause bodies.
+func (b *cfgBuilder) switchBody(head *Block, body *ast.BlockStmt, _ *labelInfo) *Block {
+	after := b.newBlock()
+	b.bindSwitchLabel(after)
+	b.pushLoop(after, nil)
+	hasDefault := false
+	var clauseBlocks []*Block
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		blk := b.newBlock()
+		link(head, blk)
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		clauseBlocks = append(clauseBlocks, blk)
+		clauses = append(clauses, cc)
+	}
+	for i, cc := range clauses {
+		out := b.stmts(clauseBlocks[i], cc.Body)
+		if out != nil {
+			// A trailing fallthrough flows into the next clause body instead
+			// of the merge point.
+			if n := len(cc.Body); n > 0 && isFallthrough(cc.Body[n-1]) && i+1 < len(clauseBlocks) {
+				link(out, clauseBlocks[i+1])
+			} else {
+				link(out, after)
+			}
+		}
+	}
+	if !hasDefault {
+		link(head, after)
+	}
+	b.popLoop()
+	return b.reachableOrNil(after)
+}
+
+func isFallthrough(s ast.Stmt) bool {
+	br, ok := s.(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block) {
+	b.breakTo = append(b.breakTo, brk)
+	b.contTo = append(b.contTo, cont)
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.contTo = b.contTo[:len(b.contTo)-1]
+}
+
+// bindLoopLabel attaches break/continue targets to the label naming the loop
+// being built, if any.
+func (b *cfgBuilder) bindLoopLabel(head, brk, cont *Block) {
+	if b.curLabel != nil {
+		b.curLabel.breaks = brk
+		b.curLabel.conts = cont
+		b.curLabel = nil
+	}
+	_ = head
+}
+
+func (b *cfgBuilder) bindSwitchLabel(brk *Block) {
+	if b.curLabel != nil {
+		b.curLabel.breaks = brk
+		b.curLabel = nil
+	}
+}
+
+// reachableOrNil returns the merge block unchanged: even when every path
+// into it terminated, subsequent (unreachable) statements still get blocks
+// so their uses are scanned — they just receive no incoming dataflow.
+func (b *cfgBuilder) reachableOrNil(blk *Block) *Block {
+	return blk
+}
+
+func (b *cfgBuilder) isNoReturn(call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		return true
+	}
+	if b.noReturn != nil && b.noReturn(call) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildCFG parses a single function body and builds its CFG with no type
+// information (the no-return predicate only recognizes panic syntactically).
+func buildCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body, nil)
+}
+
+// blockCalling returns the block containing a call to the named function.
+func blockCalling(t *testing.T, cfg *CFG, name string) *Block {
+	t.Helper()
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			// A RangeStmt loop-head node stands only for its X expression;
+			// the body lives in other blocks.
+			if rng, ok := n.(*ast.RangeStmt); ok {
+				n = rng.X
+			}
+			found := false
+			ast.Inspect(n, func(c ast.Node) bool {
+				if call, ok := c.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	t.Fatalf("no block calls %s", name)
+	return nil
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(cfg *CFG) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	if len(cfg.Blocks) > 0 {
+		walk(cfg.Blocks[0])
+	}
+	return seen
+}
+
+func TestCFGIfElseJoin(t *testing.T) {
+	cfg := buildCFG(t, `
+		if cond() {
+			a()
+		} else {
+			b()
+		}
+		d()
+	`)
+	join := blockCalling(t, cfg, "d")
+	preds := 0
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Succs {
+			if s == join {
+				preds++
+			}
+		}
+	}
+	if preds != 2 {
+		t.Errorf("join block should have 2 predecessors (then, else), got %d", preds)
+	}
+	if !reachable(cfg)[join] {
+		t.Errorf("join block unreachable")
+	}
+}
+
+func TestCFGTerminatingBranchDoesNotJoin(t *testing.T) {
+	cfg := buildCFG(t, `
+		if cond() {
+			a()
+			return
+		}
+		d()
+	`)
+	then := blockCalling(t, cfg, "a")
+	join := blockCalling(t, cfg, "d")
+	for _, s := range then.Succs {
+		if s == join {
+			t.Errorf("terminating then-branch must not flow into the join")
+		}
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	cfg := buildCFG(t, `
+		for i := 0; i < 10; i++ {
+			a()
+		}
+		d()
+	`)
+	body := blockCalling(t, cfg, "a")
+	// The body flows (through the post block) back to a lower-indexed head.
+	var walk func(b *Block, seen map[*Block]bool) bool
+	walk = func(b *Block, seen map[*Block]bool) bool {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if s.Index < body.Index || walk(s, seen) {
+				return true
+			}
+		}
+		return false
+	}
+	if !walk(body, map[*Block]bool{}) {
+		t.Errorf("loop body has no path back to the loop head")
+	}
+	if !reachable(cfg)[blockCalling(t, cfg, "d")] {
+		t.Errorf("code after the loop must stay reachable")
+	}
+}
+
+func TestCFGPanicCutsFallthrough(t *testing.T) {
+	cfg := buildCFG(t, `
+		a()
+		panic("boom")
+		d()
+	`)
+	if reachable(cfg)[blockCalling(t, cfg, "d")] {
+		t.Errorf("code after panic must be unreachable from the entry")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	cfg := buildCFG(t, `
+		switch x() {
+		case 1:
+			a()
+			fallthrough
+		case 2:
+			b()
+		}
+		d()
+	`)
+	c1 := blockCalling(t, cfg, "a")
+	c2 := blockCalling(t, cfg, "b")
+	linked := false
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		if seen[blk] {
+			return
+		}
+		seen[blk] = true
+		for _, s := range blk.Succs {
+			if s == c2 {
+				linked = true
+			}
+			if s != blockCalling(t, cfg, "d") {
+				walk(s)
+			}
+		}
+	}
+	walk(c1)
+	if !linked {
+		t.Errorf("fallthrough must chain case 1 into case 2's body")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfg := buildCFG(t, `
+	outer:
+		for {
+			for {
+				if cond() {
+					break outer
+				}
+				a()
+			}
+		}
+		d()
+	`)
+	if !reachable(cfg)[blockCalling(t, cfg, "d")] {
+		t.Errorf("break outer must make the code after the outer loop reachable")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	cfg := buildCFG(t, `
+		select {
+		case v := <-ch:
+			a(v)
+		default:
+			b()
+		}
+		d()
+	`)
+	r := reachable(cfg)
+	for _, name := range []string{"a", "b", "d"} {
+		if !r[blockCalling(t, cfg, name)] {
+			t.Errorf("select clause/join calling %s unreachable", name)
+		}
+	}
+}
+
+func TestCFGRangeNodeExcludesBody(t *testing.T) {
+	cfg := buildCFG(t, `
+		for _, v := range xs {
+			a(v)
+		}
+		d()
+	`)
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if rng, ok := n.(*ast.RangeStmt); ok {
+				// The loop-head node stands for "evaluate X, bind Key/Value";
+				// its body must live in separate blocks, or transfer functions
+				// would see it twice.
+				if body := blockCalling(t, cfg, "a"); body == blk {
+					t.Errorf("range body shares a block with the range head")
+				}
+				_ = rng
+				return
+			}
+		}
+	}
+	t.Errorf("no RangeStmt loop-head node found")
+}
+
+func TestCFGEveryStmtPlaced(t *testing.T) {
+	// Every leaf statement must appear in exactly one block, reachable or not.
+	body := `
+		a()
+		if cond() {
+			b()
+			return
+		}
+		c()
+		panic("x")
+		d()
+	`
+	cfg := buildCFG(t, body)
+	for _, name := range []string{"a", "b", "c", "d"} {
+		n := 0
+		for _, blk := range cfg.Blocks {
+			for _, node := range blk.Nodes {
+				count := 0
+				ast.Inspect(node, func(cn ast.Node) bool {
+					if call, ok := cn.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+							count++
+						}
+					}
+					return true
+				})
+				n += count
+			}
+		}
+		if n != 1 {
+			t.Errorf("call %s() placed %d times, want 1", name, n)
+		}
+	}
+	if !strings.Contains(body, "panic") {
+		t.Fatal("fixture edited")
+	}
+}

@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ChareRace checks the concurrency contract of entry methods: all of a
+// chare's state is mutated only from its PE's scheduler goroutine, which is
+// what lets entry methods read and write fields without locks. A goroutine
+// launched inside an entry method breaks that contract the moment it touches
+// the receiver or anything reference-like reachable from it — the goroutine
+// runs concurrently with every later entry method of the same chare. The
+// sanctioned pattern is to copy the values the goroutine needs, let it
+// compute, and deliver results back through a Future/Channel Send (which
+// re-enters the scheduler).
+//
+// The rule runs on the shared dataflow engine: the receiver is the taint
+// source, assignments propagate taint into reference-like locals (aliases of
+// chare state), and a `go` statement that captures a tainted value — in a
+// closure body, an argument, or a bound method value — is reported. Passing
+// a tainted value to a same-package helper whose call summary says it hands
+// the parameter to a goroutine (callsum.go) is reported at the call site.
+var ChareRace = &Analyzer{
+	Name: "charerace",
+	ID:   "CV009",
+	Doc: "goroutines launched in entry methods must not capture the receiver " +
+		"or aliases of chare state: they race with later entry methods",
+	Run: runChareRace,
+}
+
+const chareRaceGoMsg = "entry method %s launches a goroutine capturing %s, which aliases chare state; chare fields are only safe on the PE scheduler — copy the values the goroutine needs and deliver results with a Future/Channel Send"
+
+const chareRaceHelperMsg = "entry method %s passes %s, which aliases chare state, to %s, which hands it to a goroutine; chare fields are only safe on the PE scheduler — copy the values instead"
+
+func runChareRace(pass *Pass) {
+	sums := pass.Eng.Summaries()
+	for _, em := range pass.Eng.EntryMethods() {
+		if em.decl.Body == nil {
+			continue
+		}
+		recv := receiverObj(pass.Info, em.decl)
+		if recv == nil {
+			continue // unnamed receiver: nothing can be captured
+		}
+		name := em.chare.Obj().Name() + "." + em.fn.Name()
+
+		// carrier reports whether expr's value aliases chare state: the
+		// receiver itself, a tainted local, or a projection (field, index,
+		// slice, dereference) of one — provided the projected value is
+		// reference-like, so plain value copies (c.counter) stay legal.
+		var carrier func(e ast.Expr, state State) (*ast.Ident, bool)
+		carrier = func(e ast.Expr, state State) (*ast.Ident, bool) {
+			e = ast.Unparen(e)
+			t := pass.Info.TypeOf(e)
+			if t == nil || !refLike(t) || isCoreHandle(t) {
+				return nil, false
+			}
+			switch x := e.(type) {
+			case *ast.Ident:
+				if obj := pass.Info.Uses[x]; obj != nil {
+					if _, ok := state[obj]; ok {
+						return x, true
+					}
+				}
+			case *ast.SelectorExpr:
+				return carrier(x.X, state)
+			case *ast.IndexExpr:
+				return carrier(x.X, state)
+			case *ast.SliceExpr:
+				return carrier(x.X, state)
+			case *ast.StarExpr:
+				return carrier(x.X, state)
+			case *ast.UnaryExpr:
+				if x.Op.String() == "&" {
+					// &c.field aliases chare state even when the field value
+					// itself is a plain scalar.
+					if id, ok := carrier(x.X, state); ok {
+						return id, true
+					}
+					return chareRoot(pass.Info, x.X, state)
+				}
+			case *ast.CompositeLit:
+				for _, el := range x.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						el = kv.Value
+					}
+					if id, ok := carrier(el, state); ok {
+						return id, true
+					}
+				}
+			}
+			return nil, false
+		}
+
+		step := func(n ast.Node, state State, report bool) {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for li, lhs := range x.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.Info.Defs[id]
+					if obj == nil {
+						obj = pass.Info.Uses[id]
+					}
+					if obj == nil {
+						continue
+					}
+					var rhs ast.Expr
+					if len(x.Rhs) == len(x.Lhs) {
+						rhs = x.Rhs[li]
+					} else if len(x.Rhs) == 1 {
+						rhs = x.Rhs[0]
+					}
+					if rhs == nil {
+						continue
+					}
+					if _, ok := carrier(rhs, state); ok {
+						state[obj] = Fact{Pos: id.Pos()}
+					} else {
+						delete(state, obj) // rebound to something chare-free
+					}
+				}
+			case *ast.RangeStmt:
+				tainted := false
+				if _, ok := carrier(x.X, state); ok {
+					tainted = true
+				}
+				for _, obj := range assignTargets(pass.Info, x) {
+					if tainted && refLike(obj.Type()) {
+						state[obj] = Fact{Pos: x.Pos()}
+					} else {
+						delete(state, obj)
+					}
+				}
+			case *ast.GoStmt:
+				if !report {
+					return
+				}
+				if id, ok := goCaptures(pass.Info, x, state, carrier); ok {
+					pass.Reportf(id.Pos(), chareRaceGoMsg, name, describeCapture(id, recv))
+				}
+			}
+			// On every non-goroutine node: same-package helpers that leak a
+			// parameter to a goroutine (one-level call summaries).
+			if _, isGo := n.(*ast.GoStmt); isGo || !report {
+				return
+			}
+			eachCall(pass.Info, n, func(call *ast.CallExpr) {
+				fn2, ok := calleeObject(pass.Info, call).(*types.Func)
+				if !ok || fn2.Pkg() != pass.Pkg {
+					return
+				}
+				vec := sums.Escapes(fn2)
+				for i, pe := range vec {
+					if !pe.Goroutine || i >= len(call.Args) {
+						continue
+					}
+					if id, ok := carrier(call.Args[i], state); ok {
+						pass.Reportf(id.Pos(), chareRaceHelperMsg, name, describeCapture(id, recv), fn2.Name())
+					}
+				}
+			})
+		}
+
+		entry := State{recv: {Pos: em.decl.Pos()}}
+		Forward(pass.Eng.CFG(em.decl.Body), entry, step)
+	}
+}
+
+// goCaptures reports whether the go statement captures a tainted value: in a
+// closure body (any mention races), in an argument or callee expression
+// evaluated at launch but retained by the goroutine (reference-like values
+// only), or as the bound receiver of a method value.
+func goCaptures(info *types.Info, g *ast.GoStmt, state State, carrier func(ast.Expr, State) (*ast.Ident, bool)) (*ast.Ident, bool) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		var hit *ast.Ident
+		ast.Inspect(lit.Body, func(c ast.Node) bool {
+			if hit != nil {
+				return false
+			}
+			if id, ok := c.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					if _, tainted := state[obj]; tainted {
+						hit = id
+					}
+				}
+			}
+			return true
+		})
+		if hit != nil {
+			return hit, true
+		}
+	} else if sel, ok := ast.Unparen(g.Call.Fun).(*ast.SelectorExpr); ok {
+		// go c.work() / go c.field.work(): the method's receiver is bound at
+		// launch and escapes with the goroutine. Runtime handles (Proxy,
+		// Future, Channel) are exempt: Send/Call re-enter the scheduler and
+		// are the sanctioned way back in.
+		if t := info.TypeOf(sel.X); t != nil && !isCoreHandle(t) {
+			if id, ok := chareRoot(info, sel.X, state); ok {
+				return id, true
+			}
+		}
+	}
+	for _, a := range g.Call.Args {
+		if id, ok := carrier(a, state); ok {
+			return id, true
+		}
+	}
+	if id, ok := carrier(g.Call.Fun, state); ok {
+		return id, true
+	}
+	return nil, false
+}
+
+// chareRoot resolves the root identifier of a selector/index chain and
+// reports whether it is tainted, regardless of the projected value's type —
+// used where the chain itself (not its value) escapes, like a bound method
+// receiver or &c.field.
+func chareRoot(info *types.Info, e ast.Expr, state State) (*ast.Ident, bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				if _, ok := state[obj]; ok {
+					return x, true
+				}
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+func describeCapture(id *ast.Ident, recv types.Object) string {
+	if id.Name == recv.Name() {
+		return "the receiver " + id.Name
+	}
+	return id.Name
+}
+
+// isCoreHandle reports whether t is (or points to) one of the runtime's
+// shareable handle types: values built to cross goroutines, whose Send/Call
+// methods re-enter the scheduler rather than touching chare state directly.
+func isCoreHandle(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	tn := named.Obj()
+	return tn.Pkg() != nil && tn.Pkg().Path() == corePkgPath
+}
+
+// receiverObj resolves the declared receiver variable of a method, or nil.
+func receiverObj(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Engine caches the per-package artifacts every rule shares: entry-method
+// discovery, the *types.Func -> declaration index, control-flow graphs, and
+// same-package call summaries. One Engine is built per analyzed package and
+// handed to every Pass over it (analysis.Run), so nine rules pay for one
+// entry-method scan, one CFG per function, one summary per helper — not
+// nine. The module-wide type-graph cache lives on ModuleFacts instead,
+// because type structure is shared across packages.
+type Engine struct {
+	Pkg *Package
+	Mod *ModuleFacts
+
+	entry     []entryMethod
+	entryDone bool
+
+	decls     map[*types.Func]*ast.FuncDecl
+	declsDone bool
+
+	cfgs map[*ast.BlockStmt]*CFG
+
+	sums *Summaries
+}
+
+func newEngine(pkg *Package, mod *ModuleFacts) *Engine {
+	return &Engine{Pkg: pkg, Mod: mod, cfgs: map[*ast.BlockStmt]*CFG{}}
+}
+
+// EntryMethods returns the package's entry-method declarations, computed
+// once: exported methods declared on chare structs of this package.
+func (e *Engine) EntryMethods() []entryMethod {
+	if !e.entryDone {
+		e.entry = findEntryMethods(e.Pkg)
+		e.entryDone = true
+	}
+	return e.entry
+}
+
+// FuncDecl returns the declaration of a function or method defined in this
+// package, or nil.
+func (e *Engine) FuncDecl(fn *types.Func) *ast.FuncDecl {
+	if !e.declsDone {
+		e.decls = map[*types.Func]*ast.FuncDecl{}
+		for _, f := range e.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if obj, ok := e.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					e.decls[obj] = fd
+				}
+			}
+		}
+		e.declsDone = true
+	}
+	return e.decls[fn]
+}
+
+// CFG returns the (cached) control-flow graph of a function body.
+func (e *Engine) CFG(body *ast.BlockStmt) *CFG {
+	if g, ok := e.cfgs[body]; ok {
+		return g
+	}
+	g := BuildCFG(body, e.noReturnCall)
+	e.cfgs[body] = g
+	return g
+}
+
+// Summaries returns the package's lazily-computed call-summary layer.
+func (e *Engine) Summaries() *Summaries {
+	if e.sums == nil {
+		e.sums = newSummaries(e)
+	}
+	return e.sums
+}
+
+// noReturnCall recognizes calls that never return, so the CFG builder can
+// cut the fallthrough edge (panic is handled syntactically by the builder).
+func (e *Engine) noReturnCall(call *ast.CallExpr) bool {
+	obj := calleeObject(e.Pkg.Info, call)
+	if obj == nil {
+		return false
+	}
+	switch {
+	case isFunc(obj, "os", "Exit"),
+		isFunc(obj, "runtime", "Goexit"),
+		isFunc(obj, "log", "Fatal"), isFunc(obj, "log", "Fatalf"), isFunc(obj, "log", "Fatalln"):
+		return true
+	}
+	return false
+}
+
+// findEntryMethods collects every entry-method declaration in the package:
+// exported methods declared on chare structs. Methods promoted from embedded
+// non-Chare structs are entry methods too, but are reported against the
+// package that declares them when that package is analyzed.
+func findEntryMethods(pkg *Package) []entryMethod {
+	var out []entryMethod
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			if sig.Recv() == nil {
+				continue
+			}
+			named := namedOf(sig.Recv().Type())
+			if named == nil || !isChareStruct(named) {
+				continue
+			}
+			if isBaseMethod(named, fd.Name.Name) {
+				continue
+			}
+			out = append(out, entryMethod{chare: named, fn: obj, decl: fd})
+		}
+	}
+	return out
+}

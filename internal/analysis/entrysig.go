@@ -15,13 +15,14 @@ import (
 // then fail (or silently lose state) at runtime.
 var EntrySig = &Analyzer{
 	Name: "entrysig",
+	ID:   "CV001",
 	Doc: "entry methods must have dispatcher-invocable signatures: pointer receiver, " +
 		"no variadics, serializable parameter types, at most one result",
 	Run: runEntrySig,
 }
 
 func runEntrySig(pass *Pass) {
-	for _, em := range entryMethodsIn(pass) {
+	for _, em := range pass.Eng.EntryMethods() {
 		sig := em.fn.Type().(*types.Signature)
 		name := fmt.Sprintf("%s.%s", em.chare.Obj().Name(), em.fn.Name())
 

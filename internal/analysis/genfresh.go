@@ -27,6 +27,7 @@ const GenFileName = "charmgo_gen.go"
 // `charmgo gen -check` already polices missing files at the build level.
 var GenFresh = &Analyzer{
 	Name: "genfresh",
+	ID:   "CV006",
 	Doc: "committed charmgo_gen.go bindings must match the package's current " +
 		"entry-method sets; stale bindings silently fall back to reflection/gob",
 	Run: runGenFresh,

@@ -25,6 +25,7 @@ import (
 // marshalling, and chare prototypes (Runtime.Register gob-registers them).
 var GobSafe = &Analyzer{
 	Name: "gobsafe",
+	ID:   "CV002",
 	Doc: "message struct types must survive the gob fallback: no unexported fields, " +
 		"and gob-registered when passed as interface{} arguments",
 	Run: runGobSafe,
@@ -33,13 +34,12 @@ var GobSafe = &Analyzer{
 func runGobSafe(pass *Pass) {
 	// Part 1: unexported fields in structs reachable from entry-method
 	// parameters.
-	for _, em := range entryMethodsIn(pass) {
+	for _, em := range pass.Eng.EntryMethods() {
 		sig := em.fn.Type().(*types.Signature)
 		name := fmt.Sprintf("%s.%s", em.chare.Obj().Name(), em.fn.Name())
 		for i := 0; i < sig.Params().Len(); i++ {
 			p := sig.Params().At(i)
-			seen := map[types.Type]bool{}
-			if offender, field := hiddenFields(p.Type(), seen); offender != nil {
+			if offender, field := pass.Mod.TG.HiddenFields(p.Type()); offender != nil {
 				pass.Reportf(paramPos(em.decl, i),
 					"entry method %s parameter %d reaches struct %s whose unexported field %q is silently dropped by gob; export the field, add GobEncode/GobDecode, or keep the type node-local",
 					name, i, types.TypeString(offender, types.RelativeTo(pass.Pkg)), field)
@@ -119,48 +119,6 @@ func gobNeedsRegistration(named *types.Named) bool {
 	return isStruct
 }
 
-// hiddenFields walks t and returns the first reachable struct type carrying
-// an unexported field, with the field name. Runtime types and types with
-// custom marshalling are trusted.
-func hiddenFields(t types.Type, seen map[types.Type]bool) (*types.Named, string) {
-	if seen[t] {
-		return nil, ""
-	}
-	seen[t] = true
-	named := namedOf(t)
-	if named != nil {
-		tn := named.Obj()
-		if tn.Pkg() == nil || tn.Pkg().Path() == corePkgPath {
-			return nil, ""
-		}
-		if hasMethod(named, "GobEncode") || hasMethod(named, "MarshalBinary") {
-			return nil, ""
-		}
-	}
-	switch u := t.Underlying().(type) {
-	case *types.Pointer:
-		return hiddenFields(u.Elem(), seen)
-	case *types.Slice:
-		return hiddenFields(u.Elem(), seen)
-	case *types.Array:
-		return hiddenFields(u.Elem(), seen)
-	case *types.Map:
-		if off, f := hiddenFields(u.Key(), seen); off != nil {
-			return off, f
-		}
-		return hiddenFields(u.Elem(), seen)
-	case *types.Struct:
-		for i := 0; i < u.NumFields(); i++ {
-			f := u.Field(i)
-			if !f.Exported() && named != nil {
-				return named, f.Name()
-			}
-		}
-		for i := 0; i < u.NumFields(); i++ {
-			if off, fn := hiddenFields(u.Field(i).Type(), seen); off != nil {
-				return off, fn
-			}
-		}
-	}
-	return nil, ""
-}
+// The unexported-field walk itself lives on the shared type-graph cache
+// (typegraph.go, TypeGraph.HiddenFields) so gobsafe and migratesafe pay for
+// each type's field graph once per run.

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// MigrateSafe checks that chare classes can actually migrate. Migration and
+// checkpointing gob-encode the chare struct on the origin PE and decode it on
+// the destination (core/checkpoint.go, collectBundle), re-binding runtime
+// handles on arrival (core/rebind.go). Anything else the struct reaches is
+// shipped field by field, which fails in one of two ways:
+//
+//   - gob rejects the value outright — channels, function values,
+//     unsafe.Pointer, and the sync primitives' unexported state — and the
+//     failure surfaces at the first checkpoint, long after the type was
+//     written;
+//   - the field is unexported somewhere along its path, so gob silently
+//     drops it and the chare resumes on the destination PE with a zero
+//     value — the worst failure mode, because nothing errors;
+//   - the field is a PE-local handle (transport endpoints, trace/metrics
+//     sinks, *core.Runtime): even when it would encode, the decoded value is
+//     bound to the origin node's sockets and ring buffers.
+//
+// The walk is transitive over the whole field graph, shared with gobsafe
+// through the module-wide type-graph cache (typegraph.go). Types with custom
+// GobEncode/MarshalBinary are trusted to know their own wire form; core
+// runtime types are trusted because rebind.go reconstructs them.
+var MigrateSafe = &Analyzer{
+	Name: "migratesafe",
+	ID:   "CV008",
+	Doc: "chare structs must survive gob-encoded migration: no channels, " +
+		"function values, sync primitives, PE-local handles, or silently " +
+		"dropped unexported state",
+	Run: runMigrateSafe,
+}
+
+func runMigrateSafe(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				named := namedOf(obj.Type())
+				if named == nil || !isChareStruct(named) {
+					continue
+				}
+				for _, issue := range pass.Mod.TG.MigIssues(named) {
+					pos := fieldPos(pass, ts, issue.Path)
+					chare := ts.Name.Name
+					if issue.Silent {
+						pass.Reportf(pos,
+							"chare %s field %s holds %s behind an unexported path: migration silently drops it and the chare resumes with a zero value; export the path, add GobEncode/GobDecode, or rebuild the state in Migrated()",
+							chare, issue.Path, issue.Kind)
+					} else {
+						pass.Reportf(pos,
+							"chare %s field %s holds %s: gob cannot encode it and the first checkpoint/migration fails at runtime; move PE-local state out of the chare or add GobEncode/GobDecode",
+							chare, issue.Path, issue.Kind)
+					}
+				}
+			}
+		}
+	}
+}
+
+// fieldPos resolves an issue path like ".Conn.mu" to the declaration of its
+// top-level field in the chare struct, falling back to the type name.
+func fieldPos(pass *Pass, ts *ast.TypeSpec, path string) token.Pos {
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok || len(path) < 2 {
+		return ts.Name.Pos()
+	}
+	top := strings.TrimPrefix(path, ".")
+	if i := strings.IndexByte(top, '.'); i >= 0 {
+		top = top[:i]
+	}
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			if name.Name == top {
+				return name.Pos()
+			}
+		}
+		// Embedded field: the path segment is the type's base name.
+		if len(f.Names) == 0 {
+			if embeddedFieldName(f.Type) == top {
+				return f.Type.Pos()
+			}
+		}
+	}
+	return ts.Name.Pos()
+}
+
+func embeddedFieldName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.StarExpr:
+		return embeddedFieldName(x.X)
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}

@@ -20,13 +20,14 @@ import (
 // interprocedurally; the check covers the entry-method bodies themselves.
 var NoBlock = &Analyzer{
 	Name: "noblock",
+	ID:   "CV003",
 	Doc: "entry methods must not block the PE scheduler: no time.Sleep, bare channel " +
 		"operations, mutex locks, or WaitGroup waits; suspend via futures/channels instead",
 	Run: runNoBlock,
 }
 
 func runNoBlock(pass *Pass) {
-	for _, em := range entryMethodsIn(pass) {
+	for _, em := range pass.Eng.EntryMethods() {
 		if em.decl.Body == nil {
 			continue
 		}

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 )
 
@@ -16,118 +15,256 @@ import (
 // catches this when the reuse happens to interleave; charmvet catches it
 // structurally.
 //
-// The check is intra-block and name-based: after a statement that transfers
-// ownership of a plain identifier, any later statement in the same block
-// that mentions the identifier is reported, unless an assignment gives the
-// name a fresh buffer first (`buf = transport.GetBuf()` and friends).
+// The check runs on the shared CFG/dataflow engine (cfg.go, flow.go): after
+// a node that transfers ownership of a plain identifier, any use on a path
+// reachable from it is reported, unless an assignment gives the name a fresh
+// buffer first (`buf = transport.GetBuf()` and friends). Beyond the direct
+// primitives, three transfer shapes are recognized:
+//
+//   - a same-package helper whose call summary (callsum.go) says it forwards
+//     the parameter to a transfer primitive — passing the buffer to a local
+//     wrapper is not an analysis horizon;
+//   - a method value bound to SendBuf/PutBuf and invoked later
+//     (`f := s.SendBuf; ...; f(0, buf)`);
+//   - a deferred transfer (`defer transport.PutBuf(buf)`, directly or inside
+//     a deferred closure): reads stay legal until the function returns, but
+//     a second transfer of the same buffer is a double-free and is reported.
 var SendOwn = &Analyzer{
 	Name: "sendown",
+	ID:   "CV005",
 	Doc: "a []byte passed to SendBuf/PutBuf/xmit is owned by the callee: " +
 		"reusing the variable afterwards races with the frame pool",
 	Run: runSendOwn,
 }
 
+const sendOwnReuseMsg = "%s is used after its ownership was transferred (SendBuf/PutBuf/xmit hand the buffer to the frame pool); get a fresh buffer with transport.GetBuf() instead"
+
+const sendOwnDoubleMsg = "ownership of %s was already scheduled for transfer by a deferred call; transferring it again double-frees the frame"
+
 func runSendOwn(pass *Pass) {
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			block, ok := n.(*ast.BlockStmt)
-			if !ok {
-				return true
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				sendOwnBody(pass, fd.Body)
 			}
-			checkBlock(pass, block)
+		}
+		// Function literals are separate flow scopes: their execution time is
+		// unknown to the enclosing function, so each body gets its own CFG.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				sendOwnBody(pass, lit.Body)
+			}
 			return true
 		})
 	}
 }
 
-// checkBlock scans one statement list in order, tracking which buffer
-// variables have been given away. Nested blocks are visited by the outer
-// Inspect as their own scopes; here only direct children matter, so the
-// transfer set cannot leak into a sibling branch.
-func checkBlock(pass *Pass, block *ast.BlockStmt) {
-	transferred := map[types.Object]token.Pos{} // object -> transfer site
-	for _, stmt := range block.List {
-		// A use anywhere in this statement of an already-transferred buffer
-		// is a violation — including a second transfer of the same buffer.
-		// An assignment whose LHS is the plain variable gives it a fresh
-		// value instead: clear it first and only inspect the right side
-		// (and non-identifier LHS targets like buf[0], which do read buf).
-		if as, ok := stmt.(*ast.AssignStmt); ok {
-			for _, rhs := range as.Rhs {
-				reportUses(pass, rhs, transferred)
-			}
-			for _, lhs := range as.Lhs {
-				if id, ok := lhs.(*ast.Ident); ok {
-					if obj := pass.Info.Defs[id]; obj != nil {
-						delete(transferred, obj)
-					}
-					if obj := pass.Info.Uses[id]; obj != nil {
-						delete(transferred, obj)
-					}
-				} else {
-					reportUses(pass, lhs, transferred)
+func sendOwnBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Info
+	sums := pass.Eng.Summaries()
+	bound := boundTransferFuncs(info, body)
+
+	// transferArgs resolves which of call's arguments change owner: the
+	// direct primitives, same-package helpers that consume a parameter, and
+	// calls through ownership-taking method/function values bound in this
+	// body.
+	transferArgs := func(call *ast.CallExpr) []int {
+		if idxs := sums.consumingArgs(info, call); len(idxs) > 0 {
+			return idxs
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				if idx, ok := bound[obj]; ok {
+					return []int{idx}
 				}
 			}
-		} else {
-			reportUses(pass, stmt, transferred)
 		}
-		ast.Inspect(stmt, func(n ast.Node) bool {
-			switch n.(type) {
-			case *ast.FuncLit:
+		return nil
+	}
+
+	// scanUses reports every mention of an already-transferred buffer inside
+	// n, then forgets the variable (one report per reuse region is enough).
+	// Deferred transfers leave reads legal, so they are skipped here.
+	scanUses := func(n ast.Node, state State, report bool) {
+		if n == nil || len(state) == 0 {
+			return
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if _, ok := c.(*ast.FuncLit); ok {
 				return false // a closure's execution order is unknown
-			case *ast.BlockStmt:
-				// A nested scope (if/for/switch body) is checked as its own
-				// block; a transfer inside it — typically followed by a
-				// return — must not poison this block's straight-line path.
+			}
+			id, ok := c.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			fact, gone := state[obj]
+			if !gone || fact.Deferred {
+				return true
+			}
+			if report {
+				pass.Reportf(id.Pos(), sendOwnReuseMsg, id.Name)
+			}
+			delete(state, obj)
+			return true
+		})
+	}
+
+	killIdent := func(id *ast.Ident, state State) {
+		if obj := info.Defs[id]; obj != nil {
+			delete(state, obj)
+		}
+		if obj := info.Uses[id]; obj != nil {
+			delete(state, obj)
+		}
+	}
+
+	// record marks buffers whose ownership n transfers. Inside a DeferStmt
+	// the transfer is scheduled, not performed: the fact is recorded with
+	// Deferred set, and the walk descends into deferred closures (they run
+	// exactly once, at return). A transfer of a buffer that already has a
+	// pending deferred transfer is a double-free.
+	record := func(n ast.Node, deferred bool, state State, report bool) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if _, ok := c.(*ast.FuncLit); ok && !deferred {
 				return false
 			}
-			call, ok := n.(*ast.CallExpr)
+			call, ok := c.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			argIdx, ok := ownershipArg(pass, call)
-			if !ok || argIdx >= len(call.Args) {
-				return true
-			}
-			if id, ok := ast.Unparen(call.Args[argIdx]).(*ast.Ident); ok {
-				if obj := pass.Info.Uses[id]; obj != nil {
-					transferred[obj] = call.Pos()
+			for _, idx := range transferArgs(call) {
+				if idx >= len(call.Args) {
+					continue
 				}
+				id, ok := ast.Unparen(call.Args[idx]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Uses[id]
+				if obj == nil {
+					continue
+				}
+				if prev, ok := state[obj]; ok && prev.Deferred {
+					if report {
+						pass.Reportf(id.Pos(), sendOwnDoubleMsg, id.Name)
+					}
+				}
+				state[obj] = Fact{Pos: call.Pos(), Deferred: deferred}
 			}
 			return true
 		})
 	}
+
+	step := func(n ast.Node, state State, report bool) {
+		_, deferred := n.(*ast.DeferStmt)
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			// Right side first (uses), then the left: a plain-identifier
+			// target is a rebinding that clears the fact, while buf[0] or
+			// s.field reads the transferred buffer and is reported.
+			for _, rhs := range x.Rhs {
+				scanUses(rhs, state, report)
+			}
+			for _, lhs := range x.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					killIdent(id, state)
+				} else {
+					scanUses(lhs, state, report)
+				}
+			}
+			record(n, deferred, state, report)
+		case *ast.RangeStmt:
+			// CFG loop-head node: only X is evaluated here; the body has its
+			// own blocks.
+			scanUses(x.X, state, report)
+			for _, obj := range assignTargets(info, x) {
+				delete(state, obj)
+			}
+			record(x.X, deferred, state, report)
+		default:
+			scanUses(n, state, report)
+			record(n, deferred, state, report)
+		}
+	}
+
+	Forward(pass.Eng.CFG(body), State{}, step)
 }
 
-// reportUses reports every mention of a transferred buffer variable inside
-// stmt, then forgets it (one report per reuse site is enough).
-func reportUses(pass *Pass, node ast.Node, transferred map[types.Object]token.Pos) {
-	if len(transferred) == 0 {
-		return
-	}
-	ast.Inspect(node, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
+// boundTransferFuncs finds variables bound anywhere in body to a function
+// value that takes ownership of an argument — `f := s.SendBuf` (method
+// value) or `free := transport.PutBuf` — so calls through them still count
+// as transfers. The scan is flow-insensitive: rebinding such a variable to a
+// harmless function between uses is not modeled.
+func boundTransferFuncs(info *types.Info, body *ast.BlockStmt) map[types.Object]int {
+	out := map[types.Object]int{}
+	bind := func(name, rhs ast.Expr) {
+		id, ok := name.(*ast.Ident)
 		if !ok {
-			return true
+			return
 		}
-		obj := pass.Info.Uses[id]
+		obj := info.Defs[id]
 		if obj == nil {
-			return true
+			obj = info.Uses[id]
 		}
-		if _, gone := transferred[obj]; gone {
-			pass.Reportf(id.Pos(),
-				"%s is used after its ownership was transferred (SendBuf/PutBuf/xmit hand the buffer to the frame pool); get a fresh buffer with transport.GetBuf() instead",
-				id.Name)
-			delete(transferred, obj)
+		if obj == nil {
+			return
+		}
+		if idx, ok := ownershipFuncValue(info, rhs); ok {
+			out[obj] = idx
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					bind(x.Lhs[i], x.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Names) == len(x.Values) {
+				for i := range x.Names {
+					bind(x.Names[i], x.Values[i])
+				}
+			}
 		}
 		return true
 	})
+	return out
+}
+
+// ownershipFuncValue reports whether expr evaluates to an ownership-taking
+// function value, and which argument of a call through it changes owner: a
+// SendBuf method value (receiver already bound, so the buffer is argument 1)
+// or transport.PutBuf (argument 0).
+func ownershipFuncValue(info *types.Info, expr ast.Expr) (int, bool) {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	if s, ok := info.Selections[sel]; ok {
+		if fn, ok := s.Obj().(*types.Func); ok && fn.Name() == "SendBuf" && sendBufShaped(fn) {
+			return 1, true
+		}
+		return 0, false
+	}
+	if obj := info.Uses[sel.Sel]; isFunc(obj, "charmgo/internal/transport", "PutBuf") {
+		return 0, true
+	}
+	return 0, false
 }
 
 // ownershipArg reports whether call transfers ownership of one of its
-// arguments, and which one.
-func ownershipArg(pass *Pass, call *ast.CallExpr) (int, bool) {
-	obj := calleeObject(pass.Info, call)
+// arguments directly, and which one.
+func ownershipArg(info *types.Info, call *ast.CallExpr) (int, bool) {
+	obj := calleeObject(info, call)
 	if obj == nil {
 		return 0, false
 	}
@@ -136,17 +273,25 @@ func ownershipArg(pass *Pass, call *ast.CallExpr) (int, bool) {
 		return 0, true
 	case isMethodOf(obj, "charmgo/internal/core", "Runtime") && obj.Name() == "xmit":
 		return 1, true
-	case obj.Name() == "SendBuf":
+	case obj.Name() == "SendBuf" && sendBufShaped(obj):
 		// Any implementation or interface satisfying transport.BufSender:
 		// (node int, buf []byte).
-		sig, ok := obj.Type().(*types.Signature)
-		if ok && sig.Recv() != nil && sig.Params().Len() == 2 {
-			if sl, ok := sig.Params().At(1).Type().Underlying().(*types.Slice); ok {
-				if b, ok := sl.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Byte {
-					return 1, true
-				}
-			}
-		}
+		return 1, true
 	}
 	return 0, false
+}
+
+// sendBufShaped reports whether obj is a SendBuf-shaped method: declared on a
+// receiver, two parameters, the second a byte slice.
+func sendBufShaped(obj types.Object) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 2 {
+		return false
+	}
+	sl, ok := sig.Params().At(1).Type().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
 }

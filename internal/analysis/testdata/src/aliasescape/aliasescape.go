@@ -1,0 +1,134 @@
+// Package aliasescape is a charmvet fixture: every `want` comment marks a
+// diagnostic the aliasescape analyzer must produce on that line.
+package aliasescape
+
+import (
+	"bytes"
+
+	"charmgo/internal/core"
+	"charmgo/internal/ser"
+)
+
+type Cache struct {
+	core.Chare
+	Last  []byte
+	Blobs map[string][]byte
+}
+
+var lastGlobal []byte
+
+// Storing an alias-capable parameter in a chare field leaks the buffer.
+func (c *Cache) Keep(payload []byte) {
+	c.Last = payload // want "stored in chare field Last"
+}
+
+// Projections keep the alias: slicing, map element stores.
+func (c *Cache) KeepSlice(key string, payload []byte) {
+	c.Blobs[key] = payload[4:] // want "stored in chare field Blobs"
+}
+
+// Package-level variables outlive every entry method.
+func (c *Cache) KeepGlobal(payload []byte) {
+	lastGlobal = payload // want "stored in package variable lastGlobal"
+}
+
+// Taint flows through alias-capable locals.
+func (c *Cache) KeepVia(payload []byte) {
+	view := payload[:8]
+	c.Last = view // want "stored in chare field Last"
+}
+
+// A goroutine capture outlives the entry method just like a field store.
+func (c *Cache) Share(payload []byte, done core.Future) {
+	go func() {
+		n := len(payload) // want "shared with a goroutine"
+		done.Send(n)
+	}()
+}
+
+// Channel sends hand the alias to an unknown consumer.
+func (c *Cache) Pipe(payload []byte, sink chan []byte) {
+	sink <- payload // want "sent on a channel"
+}
+
+// A same-package helper that stores its parameter is seen through.
+func stash(b []byte) { lastGlobal = b }
+
+func (c *Cache) KeepViaHelper(payload []byte) {
+	stash(payload) // want "passed to stash"
+}
+
+// A helper method storing through its receiver escapes the call the same
+// way a helper storing to a global does.
+func (c *Cache) stashSelf(key string, b []byte) { c.Blobs[key] = b }
+
+func (c *Cache) KeepViaMethod(payload []byte) {
+	c.stashSelf("k", payload) // want "passed to stashSelf"
+}
+
+// Fine: a helper that clones before storing severs the alias inside the
+// helper — the summary must not propagate taint through ser.Clone.
+func (c *Cache) stashClone(key string, b []byte) { c.Blobs[key] = ser.Clone(b) }
+
+func (c *Cache) KeepViaCloningMethod(payload []byte) {
+	c.stashClone("k", payload)
+}
+
+// Fine: ser.CloneArgs severs every alias a decoded argument list can carry.
+type Batch struct {
+	core.Chare
+	Pending []any
+}
+
+func (b *Batch) Enqueue(tasks []any) {
+	b.Pending = ser.CloneArgs(tasks) // ok: deep-cloned
+}
+
+func (b *Batch) EnqueueRaw(tasks []any) {
+	b.Pending = tasks // want "stored in chare field Pending"
+}
+
+// DecodeArgsAlias results are sources outside entry methods too.
+func recordRaw(frame []byte) {
+	args, _, err := ser.DecodeArgsAlias(frame)
+	if err != nil {
+		return
+	}
+	lastGlobal = args[0].([]byte) // want "stored in package variable lastGlobal"
+}
+
+// Fine: ser.Clone severs the alias before the store.
+func (c *Cache) KeepClone(payload []byte) {
+	c.Last = ser.Clone(payload)
+}
+
+// Fine: bytes.Clone is equivalent.
+func (c *Cache) KeepBytesClone(key string, payload []byte) {
+	c.Blobs[key] = bytes.Clone(payload)
+}
+
+// Fine: string conversion copies; scalar projections never alias.
+func (c *Cache) Digest(payload []byte) int {
+	s := string(payload)
+	_ = s
+	return len(payload)
+}
+
+// Fine: a byte-spread append copies the contents into fresh memory.
+func (c *Cache) KeepAppend(payload []byte) {
+	c.Last = append([]byte(nil), payload...)
+}
+
+// Fine: proxy/future sends serialize (copy) their payload.
+func (c *Cache) Reply(payload []byte, f core.Future) {
+	f.Send(payload)
+}
+
+// Fine: using the payload within the entry method is the whole point.
+func (c *Cache) Sum(payload []byte) int {
+	total := 0
+	for _, b := range payload {
+		total += int(b)
+	}
+	return total
+}

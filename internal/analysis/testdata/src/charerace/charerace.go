@@ -1,0 +1,86 @@
+// Package charerace is a charmvet fixture: every `want` comment marks a
+// diagnostic the charerace analyzer must produce on that line.
+package charerace
+
+import "charmgo/internal/core"
+
+type Stats struct {
+	core.Chare
+	Counter int
+	Samples []float64
+	peers   map[int]string
+}
+
+// A closure capturing the receiver races with every later entry method.
+func (s *Stats) BumpAsync() {
+	go func() {
+		s.Counter++ // want "capturing the receiver s"
+	}()
+}
+
+// A bound method value carries the receiver into the goroutine.
+func (s *Stats) WorkAsync() {
+	go s.drain() // want "capturing the receiver s"
+}
+
+func (s *Stats) drain() {}
+
+// Reference-like projections of chare state alias it even when passed as
+// launch-time arguments.
+func (s *Stats) ShareSlice(done core.Future) {
+	go consume(s.Samples, done) // want "capturing the receiver s"
+}
+
+func consume(xs []float64, done core.Future) {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	done.Send(total)
+}
+
+// Taint follows aliases through locals.
+func (s *Stats) ShareViaLocal(done core.Future) {
+	view := s.Samples
+	go consume(view, done) // want "capturing view"
+}
+
+// A helper that hands its parameter to a goroutine is seen through.
+func spawn(m map[int]string) {
+	go func() {
+		_ = len(m)
+	}()
+}
+
+func (s *Stats) ShareViaHelper() {
+	spawn(s.peers) // want "hands it to a goroutine"
+}
+
+// Fine: copy the scalar out, compute concurrently, come back through a
+// Future Send — the sanctioned pattern.
+func (s *Stats) SumAsync(done core.Future) {
+	n := s.Counter
+	go func() {
+		done.Send(n * n)
+	}()
+}
+
+// Fine: a deep copy severs the alias before the launch.
+func (s *Stats) SumSamplesAsync(done core.Future) {
+	cp := make([]float64, len(s.Samples))
+	copy(cp, s.Samples)
+	go func() {
+		total := 0.0
+		for _, x := range cp {
+			total += x
+		}
+		done.Send(total)
+	}()
+}
+
+// Fine: goroutines are unrestricted outside entry methods.
+func background(s *Stats) {
+	go func() {
+		_ = s.Counter
+	}()
+}

@@ -1,0 +1,63 @@
+// Package migratesafe is a charmvet fixture: every `want` comment marks a
+// diagnostic the migratesafe analyzer must produce on that line.
+package migratesafe
+
+import (
+	"sync"
+
+	"charmgo/internal/core"
+	"charmgo/internal/transport"
+)
+
+// Conn is reachable from a chare below; its channel is behind an unexported
+// path segment, so migration drops it silently.
+type Conn struct {
+	Name string
+	wake chan struct{}
+}
+
+type BadWorker struct {
+	core.Chare
+	Results chan int       // want "holds a channel"
+	Step    func(int) int  // want "holds a function value"
+	Mu      sync.Mutex     // want "holds a sync.Mutex"
+	WG      *sync.WaitGroup // want "holds a sync.WaitGroup"
+	Conn    Conn            // want "holds a channel behind an unexported path"
+}
+
+// PE-local handles are bound to the origin node even when they would encode.
+type BadEndpoint struct {
+	core.Chare
+	EP *transport.MemEndpoint // want "PE-local"
+	RT *core.Runtime          // want "PE-local"
+}
+
+// Fine: plain data, nested exported structs, and runtime handle types that
+// rebind.go reconstructs on arrival.
+type GoodWorker struct {
+	core.Chare
+	Step    int
+	Samples []float64
+	Names   map[string]int
+	Parent  core.Proxy
+	Done    core.Future
+}
+
+// Fine: a custom wire representation is trusted to know what it ships.
+type Framed struct {
+	core.Chare
+	Raw SelfCoded
+}
+
+type SelfCoded struct {
+	ch chan int
+}
+
+func (s SelfCoded) GobEncode() ([]byte, error) { return nil, nil }
+func (s *SelfCoded) GobDecode([]byte) error    { return nil }
+
+// Fine: not a chare — plain structs may hold whatever they like.
+type NotAChare struct {
+	C  chan int
+	Fn func()
+}

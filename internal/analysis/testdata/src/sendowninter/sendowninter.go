@@ -1,0 +1,74 @@
+// Package sendowninter is a charmvet fixture for the interprocedural and
+// deferred ownership-transfer shapes the dataflow engine added to sendown:
+// transfers through same-package helpers (call summaries), through bound
+// method values, and scheduled by defer.
+package sendowninter
+
+import "charmgo/internal/transport"
+
+// shipVia forwards its buffer to SendBuf: the call summary marks the second
+// parameter consumed, so callers lose ownership at the call site.
+func shipVia(s transport.BufSender, buf []byte) {
+	s.SendBuf(0, buf)
+}
+
+func helperConsumes(s transport.BufSender) {
+	buf := transport.GetBuf()
+	shipVia(s, buf)
+	buf = append(buf, 1) // want "after its ownership was transferred"
+}
+
+// release / releaseAll: consumption propagates through a same-package call
+// chain, not just one hop.
+func release(b []byte)    { transport.PutBuf(b) }
+func releaseAll(b []byte) { release(b) }
+
+func helperChain() int {
+	b := transport.GetBuf()
+	releaseAll(b)
+	return len(b) // want "after its ownership was transferred"
+}
+
+// A method value bound to SendBuf transfers ownership when called, same as
+// the direct method call.
+func methodValue(s transport.BufSender) {
+	send := s.SendBuf
+	buf := transport.GetBuf()
+	send(3, buf)
+	buf[0] = 1 // want "after its ownership was transferred"
+}
+
+// Fine: a deferred release keeps the buffer ours until the function returns;
+// reads and writes stay legal.
+func deferredRelease() int {
+	b := transport.GetBuf()
+	defer transport.PutBuf(b)
+	b[0] = 7
+	return len(b)
+}
+
+// A second transfer while a deferred one is pending double-frees the frame.
+func deferredDouble(s transport.BufSender) {
+	b := transport.GetBuf()
+	defer transport.PutBuf(b)
+	s.SendBuf(0, b) // want "already scheduled for transfer by a deferred call"
+}
+
+// The deferred transfer may hide inside a deferred closure; it still runs
+// exactly once, at return.
+func deferredClosure() {
+	b := transport.GetBuf()
+	defer func() { transport.PutBuf(b) }()
+	transport.PutBuf(b) // want "already scheduled for transfer by a deferred call"
+}
+
+// Fine: a helper that only reads the buffer consumes nothing.
+func inspect(b []byte) int { return len(b) }
+
+func helperReads(s transport.BufSender) error {
+	b := transport.GetBuf()
+	if inspect(b) == 0 {
+		b = append(b, 1)
+	}
+	return s.SendBuf(0, b)
+}

@@ -27,6 +27,7 @@ import (
 // directly from a tracer constructor (trace.New & friends) — are exempt.
 var TraceHook = &Analyzer{
 	Name: "tracehook",
+	ID:   "CV004",
 	Doc: "trace/metrics calls on nilable instrumentation handles must be nil-guarded " +
 		"so the instrumentation-off hot path stays branch-only and alloc-free",
 	Run: runTraceHook,

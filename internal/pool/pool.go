@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"charmgo/internal/core"
+	"charmgo/internal/ser"
 )
 
 // TaskFunc is a function applied to each task of a map job. Functions are
@@ -67,7 +68,9 @@ type Worker struct {
 func (w *Worker) Start(jobID int, funcName string, tasks []any, chunked bool, master core.Proxy) {
 	w.JobID = jobID
 	w.FuncName = funcName
-	w.Tasks = tasks
+	// tasks may arrive on the zero-copy broadcast path, aliasing a delivery
+	// buffer that is recycled when this method returns — clone before keeping.
+	w.Tasks = ser.CloneArgs(tasks)
 	w.Chunked = chunked
 	w.Master = master
 	master.Call("GetTask", w.ThisIndex[0], jobID, -1, nil)
@@ -132,7 +135,9 @@ func (m *MapManager) Init() {
 // MapAsync starts a new map job applying the named function to tasks on
 // numProcs free PEs; the ordered results are sent to future when done.
 func (m *MapManager) MapAsync(funcName string, numProcs int, tasks []any, future core.Future) {
-	m.startJob(funcName, numProcs, tasks, false, future)
+	// The job outlives this entry method, so it must not retain buffer-aliased
+	// arguments (see Worker.Start).
+	m.startJob(funcName, numProcs, ser.CloneArgs(tasks), false, future)
 }
 
 // MapAsyncChunked is MapAsync with tasks batched into chunks of the given
@@ -147,7 +152,7 @@ func (m *MapManager) MapAsyncChunked(funcName string, numProcs int, tasks []any,
 		if hi > len(tasks) {
 			hi = len(tasks)
 		}
-		chunks = append(chunks, append([]any(nil), tasks[lo:hi]...))
+		chunks = append(chunks, ser.CloneArgs(tasks[lo:hi]))
 	}
 	m.startJob(funcName, numProcs, chunks, true, future)
 }

@@ -1,0 +1,45 @@
+package ser
+
+// Clone returns a copy of b backed by fresh memory. It is the explicit
+// alias-severing step for values produced by DecodeArgsAlias (or any other
+// zero-copy decode path): an entry method that wants to keep a payload-backed
+// []byte beyond its own return — in a chare field, a global, a goroutine, a
+// channel — must clone it first, because the backing buffer belongs to the
+// runtime's delivery path. charmvet's aliasescape rule recognizes Clone (and
+// bytes.Clone) as the sanctioned fix.
+//
+// Like bytes.Clone, Clone of nil is nil, and Clone of an empty non-nil slice
+// is an empty non-nil slice.
+func Clone(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// CloneArgs is Clone for a decoded argument list: it returns a copy of args
+// whose aliasing parts — []byte leaves, recursively through nested []any
+// lists — are backed by fresh memory. Those are exactly the shapes
+// DecodeArgsAlias can leave pointing into the delivery buffer; every other
+// argument kind is decoded by value, so it is carried over as-is. An entry
+// method that keeps its whole argument list (or a slice of it) beyond its
+// return must pass it through CloneArgs first. CloneArgs of nil is nil.
+func CloneArgs(args []any) []any {
+	if args == nil {
+		return nil
+	}
+	out := make([]any, len(args))
+	for i, v := range args {
+		switch x := v.(type) {
+		case []byte:
+			out[i] = Clone(x)
+		case []any:
+			out[i] = CloneArgs(x)
+		default:
+			out[i] = v
+		}
+	}
+	return out
+}

@@ -222,16 +222,23 @@ func (e *MemEndpoint) SendBufShared(nodes []int, buf []byte) error {
 	}
 	sh := &memShared{buf: buf}
 	sh.refs.Store(int32(len(nodes)))
+	// Failed destinations give up their references only after the loop:
+	// releasing mid-loop would put the buffer back in the pool while later
+	// iterations still slice it (the refcount makes that impossible today,
+	// but only because the zero crossing is necessarily the last decrement —
+	// keeping the release after the last use makes it locally evident).
 	var firstErr error
+	failed := int32(0)
 	for _, n := range nodes {
 		if err := e.enqueue(n, memFrame{from: e.id, frame: buf[PrefixLen:], shared: sh}); err != nil {
-			if sh.refs.Add(-1) == 0 {
-				PutBuf(buf)
-			}
+			failed++
 			if firstErr == nil {
 				firstErr = err
 			}
 		}
+	}
+	if failed > 0 && sh.refs.Add(-failed) == 0 {
+		PutBuf(buf)
 	}
 	return firstErr
 }
