@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint charmvet vet-baseline race fuzz bench collectives vet profile chaos gen gencheck bench/dispatch introspect
+.PHONY: all build test check lint charmvet vet-baseline race fuzz bench collectives vet profile chaos gen gencheck bench/dispatch introspect serve serving
 
 all: build
 
@@ -47,13 +47,27 @@ gencheck:
 chaos:
 	$(GO) test -race -count=1 ./internal/ft/
 
+# serve is the elastic-serving smoke (DESIGN.md §3.8): a 3-node kvservice
+# cluster absorbs one planned node join and one planned node leave under
+# continuous load, and the run must end with zero lost requests, every key
+# readable, a finite p99 and no failure-detector false positives.
+serve:
+	$(GO) run ./examples/kvservice -check -seconds 6
+
+# serving regenerates BENCH_serving.json (open-loop latency/saturation cells
+# incl. join-mid-run and leave-mid-run; see EXPERIMENTS.md §serving).
+serving:
+	$(GO) run ./cmd/kvbench
+
 # check is the CI gate: build everything, lint (go vet + charmvet), verify
 # generated bindings are fresh, run the full test suite under the race
-# detector, then the chaos/recovery suite and the live-introspection smoke.
+# detector, then the chaos/recovery suite, the live-introspection smoke and
+# the elastic-serving smoke.
 check: build lint gencheck
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) introspect
+	$(MAKE) serve
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,295 @@
+// Kvbench drives the kvservice serving stack (internal/elastic) with an
+// OPEN-loop load generator — requests are issued on a fixed arrival schedule
+// regardless of completions, so queueing shows up as latency instead of
+// being absorbed by a closed loop's self-throttling — and writes the
+// machine-readable results to BENCH_serving.json (EXPERIMENTS.md §serving).
+//
+// Cells:
+//   - steady: fixed arrival rate against a stable membership.
+//   - join:   same load; a provisioned idle node is admitted mid-run and
+//     shards rebalance onto it. Zero request loss required.
+//   - leave:  same load; an active node drains and departs mid-run without
+//     tripping the failure detectors. Zero request loss required.
+//   - saturation: arrival-rate sweep on stable membership; the saturation
+//     throughput is the highest completed-requests/sec the stack sustains.
+//
+// Every cell reports p50/p99 latency over the completed requests. Shed
+// requests (admission control above the high watermark) are counted
+// separately — they are an explicit reply, not a loss; lost = sent - ok -
+// shed must be zero in the membership cells.
+//
+//	go run ./cmd/kvbench                       # table + BENCH_serving.json
+//	go run ./cmd/kvbench -rate 3000 -duration 3s -o out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"charmgo/internal/elastic"
+	"charmgo/internal/metrics"
+)
+
+// cellResult is one cell's measurement in BENCH_serving.json.
+type cellResult struct {
+	Cell            string  `json:"cell"`
+	MembershipEvent string  `json:"membership_event,omitempty"`
+	Nodes           int     `json:"nodes"`
+	PEs             int     `json:"pes_per_node"`
+	Shards          int     `json:"shards"`
+	RateRPS         int     `json:"offered_rate_rps"`
+	DurationMS      int64   `json:"duration_ms"`
+	Sent            int64   `json:"sent"`
+	OK              int64   `json:"ok"`
+	Shed            int64   `json:"shed"`
+	Lost            int64   `json:"lost"`
+	P50us           float64 `json:"p50_us"`
+	P99us           float64 `json:"p99_us"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	FalsePositives  int64   `json:"detector_false_positives"`
+}
+
+// satPoint is one rate step of the saturation sweep.
+type satPoint struct {
+	RateRPS       int     `json:"offered_rate_rps"`
+	ThroughputRPS float64 `json:"achieved_rps"`
+	Shed          int64   `json:"shed"`
+	P50us         float64 `json:"p50_us"`
+	P99us         float64 `json:"p99_us"`
+}
+
+// report is the BENCH_serving.json document.
+type report struct {
+	Benchmark     string       `json:"benchmark"`
+	GoVersion     string       `json:"go_version"`
+	NumCPU        int          `json:"num_cpu"`
+	Cells         []cellResult `json:"cells"`
+	Saturation    []satPoint   `json:"saturation_sweep"`
+	SaturationRPS float64      `json:"saturation_rps"`
+}
+
+// recorder accumulates per-request latencies and outcomes.
+type recorder struct {
+	mu   sync.Mutex
+	lats []time.Duration
+	sent atomic.Int64
+	ok   atomic.Int64
+	shed atomic.Int64
+}
+
+func (r *recorder) done(start time.Time, err error) {
+	switch err {
+	case nil:
+		r.ok.Add(1)
+		d := time.Since(start)
+		r.mu.Lock()
+		r.lats = append(r.lats, d)
+		r.mu.Unlock()
+	case elastic.ErrOverloaded:
+		r.shed.Add(1)
+	}
+}
+
+// pcts returns the p50 and p99 of the recorded latencies, in microseconds.
+func (r *recorder) pcts() (p50, p99 float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.lats) == 0 {
+		return 0, 0
+	}
+	sort.Slice(r.lats, func(i, j int) bool { return r.lats[i] < r.lats[j] })
+	at := func(p float64) float64 {
+		i := int(p * float64(len(r.lats)))
+		if i >= len(r.lats) {
+			i = len(r.lats) - 1
+		}
+		return float64(r.lats[i].Nanoseconds()) / 1e3
+	}
+	return at(0.50), at(0.99)
+}
+
+// openLoop fires requests at the fixed arrival rate for the given duration
+// (each request on its own goroutine — completions never throttle arrivals)
+// and waits for the stragglers. mid, when non-nil, runs at duration/2 on its
+// own goroutine (the membership event under load).
+func openLoop(svc *elastic.Service, rate int, duration time.Duration, keys int, mid func()) *recorder {
+	rec := &recorder{}
+	interval := time.Second / time.Duration(rate)
+	var wg sync.WaitGroup
+	var midWG sync.WaitGroup
+	deadline := time.Now().Add(duration)
+	fired := false
+	for i := 0; time.Now().Before(deadline); i++ {
+		if mid != nil && !fired && time.Now().After(deadline.Add(-duration/2)) {
+			fired = true
+			midWG.Add(1)
+			go func() { defer midWG.Done(); mid() }()
+		}
+		rec.sent.Add(1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := fmt.Sprintf("key-%03d", i%keys)
+			t0 := time.Now()
+			var err error
+			if i%2 == 0 {
+				err = svc.Put(k, "v")
+			} else {
+				_, err = svc.Get(k)
+			}
+			rec.done(t0, err)
+		}(i)
+		time.Sleep(interval)
+	}
+	wg.Wait()
+	midWG.Wait()
+	return rec
+}
+
+// newCluster boots a fresh kvservice cluster and warms the keyspace.
+func newCluster(nodes, pes, shards, keys int, initial []int) (*elastic.Service, error) {
+	svc, err := elastic.NewService(elastic.ServiceConfig{
+		Nodes:             nodes,
+		PEs:               pes,
+		Shards:            shards,
+		InitialActive:     initial,
+		Metrics:           metrics.NewRegistry(),
+		Detectors:         true,
+		HeartbeatInterval: 50 * time.Millisecond,
+		SuspicionTimeout:  10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < keys; i++ {
+		if err := svc.Put(fmt.Sprintf("key-%03d", i), "v"); err != nil {
+			svc.Close()
+			return nil, fmt.Errorf("warmup: %w", err)
+		}
+	}
+	return svc, nil
+}
+
+func main() {
+	nodes := flag.Int("nodes", 3, "provisioned node slots")
+	pes := flag.Int("pes", 2, "PEs per node")
+	shards := flag.Int("shards", 24, "shard count")
+	keys := flag.Int("keys", 64, "distinct keys")
+	rate := flag.Int("rate", 2000, "offered arrival rate (req/s) for the membership cells")
+	duration := flag.Duration("duration", 3*time.Second, "duration of each membership cell")
+	satDur := flag.Duration("sat-duration", time.Second, "duration of each saturation step")
+	out := flag.String("o", "BENCH_serving.json", "output JSON path")
+	flag.Parse()
+
+	rep := &report{
+		Benchmark: "kvservice open-loop serving: steady state, node join, node leave, saturation sweep",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	all := make([]int, *nodes)
+	for i := range all {
+		all[i] = i
+	}
+
+	cell := func(name, event string, initial []int, mid func(svc *elastic.Service) error) {
+		svc, err := newCluster(*nodes, *pes, *shards, *keys, initial)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		defer svc.Close()
+		var midErr error
+		var hook func()
+		if mid != nil {
+			hook = func() { midErr = mid(svc) }
+		}
+		t0 := time.Now()
+		rec := openLoop(svc, *rate, *duration, *keys, hook)
+		elapsed := time.Since(t0)
+		if midErr != nil {
+			fmt.Fprintf(os.Stderr, "kvbench: %s: membership event: %v\n", name, midErr)
+			os.Exit(1)
+		}
+		p50, p99 := rec.pcts()
+		sent, ok, shed := rec.sent.Load(), rec.ok.Load(), rec.shed.Load()
+		r := cellResult{
+			Cell: name, MembershipEvent: event,
+			Nodes: *nodes, PEs: *pes, Shards: *shards,
+			RateRPS: *rate, DurationMS: elapsed.Milliseconds(),
+			Sent: sent, OK: ok, Shed: shed, Lost: sent - ok - shed,
+			P50us: p50, P99us: p99,
+			ThroughputRPS:  float64(ok) / elapsed.Seconds(),
+			FalsePositives: svc.FalsePositives(),
+		}
+		rep.Cells = append(rep.Cells, r)
+		fmt.Printf("%-8s %6d req/s offered  %8.0f req/s done  p50 %7.0fus  p99 %7.0fus  shed %5d  lost %d  falsepos %d\n",
+			name, *rate, r.ThroughputRPS, p50, p99, shed, r.Lost, r.FalsePositives)
+		if r.Lost != 0 {
+			fmt.Fprintf(os.Stderr, "kvbench: %s: %d requests lost\n", name, r.Lost)
+			os.Exit(1)
+		}
+	}
+
+	cell("steady", "", all, nil)
+	joiner := *nodes - 1
+	cell("join", fmt.Sprintf("node %d admitted mid-run", joiner), all[:*nodes-1],
+		func(svc *elastic.Service) error { return svc.Join(joiner) })
+	cell("leave", "node 1 drained and departed mid-run", all,
+		func(svc *elastic.Service) error { return svc.Leave(1) })
+
+	// Saturation sweep: fresh cluster, rising offered rate; saturation is the
+	// best achieved completion rate across the sweep.
+	svc, err := newCluster(*nodes, *pes, *shards, *keys, all)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvbench: saturation:", err)
+		os.Exit(1)
+	}
+	defer svc.Close()
+	best := 0.0
+	for _, r := range []int{1000, 2000, 4000, 8000, 16000, 32000} {
+		t0 := time.Now()
+		rec := openLoop(svc, r, *satDur, *keys, nil)
+		elapsed := time.Since(t0)
+		p50, p99 := rec.pcts()
+		ach := float64(rec.ok.Load()) / elapsed.Seconds()
+		rep.Saturation = append(rep.Saturation, satPoint{
+			RateRPS: r, ThroughputRPS: ach, Shed: rec.shed.Load(), P50us: p50, P99us: p99,
+		})
+		fmt.Printf("sat      %6d req/s offered  %8.0f req/s done  p50 %7.0fus  p99 %7.0fus  shed %5d\n",
+			r, ach, p50, p99, rec.shed.Load())
+		if ach > best {
+			best = ach
+		}
+		// Past saturation the achieved rate flattens; two more steps of
+		// headroom are enough to show the knee.
+		if ach < float64(r)/2 {
+			break
+		}
+	}
+	rep.SaturationRPS = best
+	fmt.Printf("saturation throughput: %.0f req/s\n", best)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvbench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "kvbench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "kvbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -1,0 +1,200 @@
+// Kvservice is the elastic-serving flagship (DESIGN.md §3.8): a keyed Shard
+// array behind a request-routing front end with watermark admission control,
+// hosted on a cluster whose membership changes under live load. It supersedes
+// examples/kvstore as the serving demo (kvstore remains as the introspection
+// smoke workload).
+//
+// The run boots nodes 0..N-2 active with the last node provisioned but idle,
+// drives continuous Put/Get load through the front end, then — mid-run —
+// admits the idle node (shards rebalance onto it) and retires node 1 (its
+// shards drain out, its detectors are told goodbye, it exits). The job must
+// finish with every reply delivered, every key readable, and zero failure-
+// detector false positives.
+//
+//	go run ./examples/kvservice                    # human-readable report
+//	go run ./examples/kvservice -check             # exit 1 on any loss — CI smoke
+//	go run ./examples/kvservice -nodes 4 -seconds 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"charmgo/internal/elastic"
+	"charmgo/internal/metrics"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 3, "provisioned node slots (last starts idle)")
+	pes := flag.Int("pes", 2, "PEs per node")
+	shards := flag.Int("shards", 0, "shard count (default 4*pes*nodes)")
+	seconds := flag.Float64("seconds", 6, "load duration")
+	workers := flag.Int("workers", 4, "closed-loop load workers")
+	check := flag.Bool("check", false, "exit 1 unless zero loss, finite p99, no detector false positives")
+	flag.Parse()
+	if *nodes < 3 {
+		fmt.Fprintln(os.Stderr, "kvservice: need at least 3 nodes (one joins, one leaves)")
+		os.Exit(2)
+	}
+
+	initial := make([]int, 0, *nodes-1)
+	for i := 0; i < *nodes-1; i++ {
+		initial = append(initial, i)
+	}
+	reg := metrics.NewRegistry()
+	svc, err := elastic.NewService(elastic.ServiceConfig{
+		Nodes:         *nodes,
+		PEs:           *pes,
+		Shards:        *shards,
+		InitialActive: initial,
+		Metrics:       reg,
+		Detectors:     true,
+		// Generous suspicion margin: on an oversubscribed CI box a heartbeat
+		// can stall far past its interval, and a false positive black-holes
+		// the suspect. Planned transitions are what the smoke asserts on.
+		HeartbeatInterval: 50 * time.Millisecond,
+		SuspicionTimeout:  10 * time.Second,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvservice:", err)
+		os.Exit(1)
+	}
+	defer svc.Close()
+
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		if err := svc.Put(key(i), fmt.Sprintf("v%d", i)); err != nil {
+			fmt.Fprintln(os.Stderr, "kvservice: warmup:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("kvservice: %d nodes provisioned, active %v, %d shards, %d keys\n",
+		*nodes, svc.ActiveNodes(), svc.Shards(), keys)
+
+	var sent, ok, shed atomic.Int64
+	var mu sync.Mutex
+	var lats []time.Duration
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := key((i**workers + w) % keys)
+				sent.Add(1)
+				t0 := time.Now()
+				var err error
+				if w%2 == 0 {
+					err = svc.Put(k, "u")
+				} else {
+					_, err = svc.Get(k)
+				}
+				switch err {
+				case nil:
+					ok.Add(1)
+					mu.Lock()
+					lats = append(lats, time.Since(t0))
+					mu.Unlock()
+				case elastic.ErrOverloaded:
+					shed.Add(1)
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(w)
+	}
+
+	dur := time.Duration(*seconds * float64(time.Second))
+	join, leave := *nodes-1, 1
+	time.Sleep(dur / 3)
+	fmt.Printf("kvservice: t=%v admitting node %d under load...\n", dur/3, join)
+	if err := svc.Join(join); err != nil {
+		fmt.Fprintln(os.Stderr, "kvservice: join:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("kvservice: node %d joined, active %v\n", join, svc.ActiveNodes())
+	time.Sleep(dur / 3)
+	fmt.Printf("kvservice: t=%v retiring node %d under load...\n", 2*dur/3, leave)
+	if err := svc.Leave(leave); err != nil {
+		fmt.Fprintln(os.Stderr, "kvservice: leave:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("kvservice: node %d departed, active %v\n", leave, svc.ActiveNodes())
+	time.Sleep(dur / 3)
+	close(stop)
+	wg.Wait()
+
+	lost := sent.Load() - ok.Load() - shed.Load()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p50, p99 := pct(lats, 0.50), pct(lats, 0.99)
+	missing := 0
+	for i := 0; i < keys; i++ {
+		if v, err := svc.Get(key(i)); err != nil || v == "" {
+			missing++
+		}
+	}
+	fmt.Printf("kvservice: sent %d  ok %d  shed %d  lost %d  missing-keys %d\n",
+		sent.Load(), ok.Load(), shed.Load(), lost, missing)
+	fmt.Printf("kvservice: p50 %v  p99 %v  detector false positives %d\n",
+		p50, p99, svc.FalsePositives())
+
+	if *check {
+		bad := false
+		if lost != 0 {
+			fmt.Fprintf(os.Stderr, "kvservice: CHECK FAILED: %d requests lost across membership changes\n", lost)
+			bad = true
+		}
+		if missing != 0 {
+			fmt.Fprintf(os.Stderr, "kvservice: CHECK FAILED: %d keys unreadable after membership changes\n", missing)
+			bad = true
+		}
+		if len(lats) == 0 || p99 <= 0 {
+			fmt.Fprintln(os.Stderr, "kvservice: CHECK FAILED: no latency samples (p99 undefined)")
+			bad = true
+		}
+		if fp := svc.FalsePositives(); fp != 0 {
+			fmt.Fprintf(os.Stderr, "kvservice: CHECK FAILED: failure detector fired %d times on planned transitions\n", fp)
+			bad = true
+		}
+		active := svc.ActiveNodes()
+		stillThere := false
+		for _, n := range active {
+			if n == leave {
+				stillThere = true
+			}
+		}
+		if len(active) != *nodes-1 || stillThere {
+			fmt.Fprintf(os.Stderr, "kvservice: CHECK FAILED: active nodes %v after leave of %d\n", active, leave)
+			bad = true
+		}
+		if bad {
+			os.Exit(1)
+		}
+		fmt.Println("kvservice: CHECK OK — zero loss, finite p99, no false positives")
+	}
+}
+
+// key names the i'th benchmark key.
+func key(i int) string { return fmt.Sprintf("key-%03d", i) }
+
+// pct reads the p'th percentile from sorted latencies.
+func pct(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -180,3 +180,46 @@ func kickIntro(pr core.Proxy, fut core.Future) {
 	pr.Call("RecvIntroPair", []IntroPESample{{PE: 0, Util: 0.5}})
 	fut.Send(IntroUnregistered{Seq: 7}) // want "never gob-registered"
 }
+
+// Elastic-membership-style wire messages (internal/core ships view commits,
+// drain censuses and element-rehome notices during planned node join/leave):
+// the same gob rules apply to the reconfiguration control plane.
+
+// ElasticView mirrors a membership-view commit broadcast by the coordinator:
+// exported fields only, gob-registered below.
+type ElasticView struct {
+	Epoch  int64
+	Active []int
+	Deleg  []int
+}
+
+// ElasticCensus mirrors a draining node's element-census reply.
+type ElasticCensus struct {
+	Node  int
+	CID   int32
+	Elems int
+}
+
+// ElasticBadView leaks the coordinator's private commit-wait state into a
+// frame the other nodes could never decode.
+type ElasticBadView struct {
+	Epoch   int64
+	pending map[int]bool
+}
+
+func (c *Cell) RecvElasticView(v ElasticView, cs []ElasticCensus) {}
+func (c *Cell) RecvElasticBad(v ElasticBadView)                   {} // want "unexported field \"pending\""
+
+func init() {
+	ser.RegisterType(ElasticView{})
+	ser.RegisterType(ElasticCensus{})
+}
+
+// ElasticUnregistered is wire-clean but never registered with gob.
+type ElasticUnregistered struct{ Epoch int64 }
+
+func kickElastic(pr core.Proxy, fut core.Future) {
+	fut.Send(ElasticCensus{Node: 1, CID: 2, Elems: 4})
+	pr.Call("RecvElasticView", ElasticView{Epoch: 2}, []ElasticCensus{})
+	fut.Send(ElasticUnregistered{Epoch: 2}) // want "never gob-registered"
+}

@@ -61,3 +61,21 @@ type NotAChare struct {
 	C  chan int
 	Fn func()
 }
+
+// Serving-shard-style chare state (examples/kvservice): a keyed shard is
+// rebalanced between nodes during elastic join/leave, so everything it
+// holds must survive a migration. Plain map state does; handles to the
+// front end's admission machinery do not.
+type GoodShard struct {
+	core.Chare
+	Data map[string]string
+	Hits int64
+}
+
+type BadShard struct {
+	core.Chare
+	Data    map[string]string
+	Pending chan string  // want "holds a channel"
+	Admit   func() error // want "holds a function value"
+	Mu      sync.Mutex   // want "holds a sync.Mutex"
+}

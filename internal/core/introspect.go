@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"charmgo/internal/introspect"
+	"charmgo/internal/metrics"
 	"charmgo/internal/trace"
 	"charmgo/internal/transport"
 )
@@ -220,6 +221,9 @@ func (s *sampler) tick() {
 		}
 		snap.CommBytes = tr.CommRows(int(rt.basePE), len(rt.pes))
 	}
+	if reg := rt.cfg.Metrics; reg != nil {
+		snap.Admission = admissionSample(reg)
+	}
 	s.cur = &sampleRound{snap: snap}
 	s.mu.Unlock()
 	if shipStale {
@@ -230,6 +234,32 @@ func (s *sampler) tick() {
 	for _, p := range rt.pes {
 		p.mbox.push(&Message{Kind: mIntroSample, Src: -1, Ctl: &introSampleMsg{Seq: s.seq}})
 	}
+}
+
+// admissionSample reads the admission-control instruments out of the node's
+// metrics registry, when an admission gate registered them there
+// (internal/elastic.NewGate — it lives above the runtime, so core knows the
+// gate only by its metric names). Nil when this node hosts no gate.
+func admissionSample(reg *metrics.Registry) *introspect.AdmissionSample {
+	rej, _ := reg.Lookup("charmgo_admission_rejected_total").(*metrics.Counter)
+	del, _ := reg.Lookup("charmgo_admission_delayed_total").(*metrics.Counter)
+	dep, _ := reg.Lookup("charmgo_admission_mailbox_depth").(*metrics.Histogram)
+	if rej == nil && del == nil && dep == nil {
+		return nil
+	}
+	out := &introspect.AdmissionSample{}
+	if rej != nil {
+		out.Rejected = rej.Value()
+	}
+	if del != nil {
+		out.Delayed = del.Value()
+	}
+	if dep != nil {
+		out.DepthCount = dep.Count()
+		out.DepthP50 = dep.Quantile(0.50)
+		out.DepthP99 = dep.Quantile(0.99)
+	}
+	return out
 }
 
 // collReply is called by a PE scheduler handling mIntroSample.
@@ -306,7 +336,10 @@ func (s *sampler) dispatch(snap introspect.NodeSnapshot) {
 func (rt *Runtime) introShipUp(rm *introReportMsg) {
 	parent := 0
 	if rt.treeEnabled() {
-		parent = treeParent(rt.nodeID, 0, rt.numNodes, rt.arity)
+		parent = rt.viewParent(0)
+		if parent < 0 {
+			parent = 0
+		}
 	}
 	m := &Message{Kind: mIntroReport, Src: -1, Ctl: rm}
 	rt.ordSentTo(parent)
@@ -495,7 +528,7 @@ func (p *peState) introLBStats(sm *introLBStatsMsg) {
 	}
 	st.objs = append(st.objs, sm.Objs...)
 	st.got++
-	if st.got < p.rt.totalPEs {
+	if st.got < p.rt.activePEs() {
 		return
 	}
 	delete(p.introLB, sm.CID)

@@ -199,9 +199,14 @@ func (p *peState) handle(m *Message) {
 		p.insertElem(m.Ctl.(*insertMsg))
 	case mDoneInserting:
 		p.handleDoneInserting(m.Ctl.(*doneInsertingMsg))
-	case mFutureSet:
+	case mFutureSet, mElasticAck:
 		fs := m.Ctl.(*futSetMsg)
-		p.futureSet(fs.Ref, fs.Val)
+		if fs.Ref.ID < 0 {
+			// Negative ids are external (channel-awaited) futures; elastic.go.
+			p.rt.extComplete(fs.Ref.ID, fs.Val)
+		} else {
+			p.futureSet(fs.Ref, fs.Val)
+		}
 	case mRedPartial:
 		// The reduction root accumulates job-level results; every other PE
 		// that receives partials is its node's tree combiner (reduction.go).
@@ -214,8 +219,15 @@ func (p *peState) handle(m *Message) {
 		p.migrateIn(m.Ctl.(*migrateMsg))
 	case mLocUpdate:
 		lu := m.Ctl.(*locUpdateMsg)
-		p.setHomeLoc(lu.CID, idxKey(lu.Idx), lu.At)
-		p.rt.cacheLoc(lu.CID, idxKey(lu.Idx), lu.At)
+		key := idxKey(lu.Idx)
+		if home := p.rt.homePE(lu.CID, key); home != p.pe && p.rt.elastic() {
+			// A view change moved this element's home while the update was in
+			// flight; pass it along to the current home.
+			p.rt.send(home, m)
+			break
+		}
+		p.setHomeLoc(lu.CID, key, lu.At)
+		p.rt.cacheLoc(lu.CID, key, lu.At)
 	case mLBStats:
 		p.lbRootStats(m)
 	case mLBMoves:
@@ -260,6 +272,20 @@ func (p *peState) handle(m *Message) {
 		p.introLBMoves(m.Ctl.(*introLBMovesMsg))
 	case mPing:
 		p.rt.sendFutureSet(m.Fut, nil)
+	case mElasticCtl:
+		p.elasticCtl(m.Ctl.(*elasticCtlMsg))
+	case mElasticState:
+		p.elasticInstall(m.Ctl.(*elasticStateMsg))
+	case mElasticView:
+		vm := m.Ctl.(*elasticViewMsg)
+		p.rt.applyView(vm.Epoch, vm.Active, vm.Ack)
+	case mElasticCensus:
+		p.elasticCensus(m.Ctl.(*elasticCensusMsg))
+	case mElasticRehome:
+		p.elasticRehome(m.Ctl.(*elasticRehomeMsg).Ack)
+	case mElasticBye:
+		// Normally intercepted at ingress; local/mem delivery lands here.
+		p.rt.byeFrom(m.Ctl.(*elasticByeMsg).From)
 	case mChanMsg:
 		if el, done := p.routeElem(m); !done {
 			cm := m.Ctl.(*chanMsg)
@@ -312,7 +338,7 @@ func (p *peState) createColl(cm *createMsg) {
 			p.newElement(coll, cm.CID, []int{0}, cm.Args)
 		}
 	case ckGroup:
-		coll.total = rt.totalPEs
+		coll.total = rt.activePEs()
 		p.colls[cm.CID] = coll // install before ctor so ctor can message it
 		if !cm.NoInit {
 			p.newElement(coll, cm.CID, []int{int(p.pe)}, cm.Args)
@@ -325,7 +351,19 @@ func (p *peState) createColl(cm *createMsg) {
 			for pos := 0; pos < n; pos++ {
 				idx := delinearize(pos, cm.Dims)
 				if rt.initialPE(cm, idx) == p.pe {
-					p.newElement(coll, cm.CID, idx, cm.Args)
+					el := p.newElement(coll, cm.CID, idx, cm.Args)
+					if rt.elastic() {
+						// Under elastic membership the initial placement is a
+						// function of the view and later views re-derive it
+						// differently, so routing cannot fall back to it:
+						// announce every element to its home at birth.
+						if home := rt.homePE(cm.CID, el.key); home == p.pe {
+							p.setHomeLoc(cm.CID, el.key, p.pe)
+						} else {
+							rt.send(home, &Message{Kind: mLocUpdate, Src: p.pe,
+								Ctl: &locUpdateMsg{CID: cm.CID, Idx: el.idx, At: p.pe}})
+						}
+					}
 				}
 			}
 		}
@@ -420,7 +458,7 @@ func (p *peState) handleDoneInserting(dm *doneInsertingMsg) {
 		st := p.lbRootFor(dm.CID)
 		st.insGot++
 		st.insSum += dm.Count
-		if st.insGot == p.rt.totalPEs {
+		if st.insGot == p.rt.activePEs() {
 			st.insGot = 0
 			total := st.insSum
 			st.insSum = 0
@@ -440,7 +478,7 @@ func (p *peState) handleDoneInserting(dm *doneInsertingMsg) {
 // rootPE is the deterministic root for a collection's reductions, LB
 // coordination and sparse-count protocol.
 func rootPE(rt *Runtime, cid CID) PE {
-	return PE(idxHash([]int{int(cid)}) % uint64(rt.totalPEs))
+	return rt.resolvePE(PE(idxHash([]int{int(cid)}) % uint64(rt.totalPEs)))
 }
 
 // ---- invoke routing and location management ----
@@ -503,8 +541,13 @@ func (p *peState) forward(coll *localColl, m *Message, key string) {
 			p.rt.send(loc, m)
 			return
 		}
+		// An untracked element is normally still at its initial placement. In
+		// elastic mode the current view's initialPE need not be where the
+		// element was actually created, so the home buffers instead — every
+		// element announces its location at birth, and that announce (or the
+		// rehome pass after a view commit) flushes the buffer.
 		init := p.rt.initialPE(coll.cm, m.Idx)
-		if init != p.pe {
+		if init != p.pe && !p.rt.elastic() {
 			if _, tracked := p.homeLoc[m.CID][key]; !tracked {
 				p.rt.send(init, m)
 				return

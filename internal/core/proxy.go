@@ -83,7 +83,7 @@ func collTotal(rt *Runtime, cm *createMsg) int {
 	case ckSingle:
 		return 1
 	case ckGroup:
-		return rt.totalPEs
+		return rt.activePEs()
 	case ckArray:
 		return numElems(cm.Dims)
 	default:

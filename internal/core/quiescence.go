@@ -111,8 +111,12 @@ func (p *peState) qdProbe() {
 	qd.sumSent = 0
 	qd.sumRecv = 0
 	m := &Message{Kind: mQDProbe, Src: p.pe, Ctl: &qdProbeMsg{Round: qd.round}}
-	// one probe per node, handled by the node's first PE
+	// one probe per node, handled by the node's first PE (inactive elastic
+	// slots would delegate the probe back and double-count their stand-in)
 	for n := 0; n < p.rt.numNodes; n++ {
+		if !p.rt.nodeActive(n) {
+			continue
+		}
 		p.rt.send(PE(n*p.rt.cfg.PEs), m)
 	}
 }
@@ -141,7 +145,7 @@ func (p *peState) qdOnReply(rm *qdReplyMsg) {
 	if rm.Busy {
 		qd.anyBusy = true
 	}
-	if qd.gotNodes < p.rt.numNodes {
+	if qd.gotNodes < p.rt.activeNodeCount() {
 		return
 	}
 	quiet := !qd.anyBusy && qd.sumSent == qd.sumRecv &&

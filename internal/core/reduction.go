@@ -98,7 +98,7 @@ func (p *peState) contribute(el *element, data any, reducer Reducer, target Targ
 	// migrated-in elements accumulate in a per-initial-node sub-slot instead
 	// of this node's own partial.
 	acc := slot
-	if p.rt.treeEnabled() && coll.cm.Kind != ckSparse {
+	if p.rt.treeEnabled() && coll.cm.Kind != ckSparse && !p.rt.elastic() {
 		if home := p.rt.nodeOf(p.rt.initialPE(coll.cm, el.idx)); home != p.rt.nodeID {
 			if slot.foreign == nil {
 				slot.foreign = map[int]*localRedSlot{}
@@ -183,10 +183,13 @@ func (p *peState) redPartial(cid CID, seq int64, slot *localRedSlot, count int, 
 }
 
 // redPartialDest returns where this PE's own partial goes: the job root in
-// flat mode or for sparse collections, this node's tree combiner otherwise.
+// flat mode, for sparse collections, or under elastic membership (the tree
+// combiners' expected counts are static per-initial-node arithmetic, which
+// delegation invalidates — elastic reductions combine flat at the root),
+// this node's tree combiner otherwise.
 func (p *peState) redPartialDest(coll *localColl) PE {
 	cid := collCID(coll)
-	if !p.rt.treeEnabled() || coll.cm.Kind == ckSparse {
+	if !p.rt.treeEnabled() || coll.cm.Kind == ckSparse || p.rt.elastic() {
 		return rootPE(p.rt, cid)
 	}
 	return redCombinerPEOn(p.rt, cid, p.rt.nodeID)

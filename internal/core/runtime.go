@@ -125,6 +125,13 @@ type Config struct {
 	// errors are dropped instead of panicking — a peer going silent is a
 	// failure for the detector to handle, not a bug in this node.
 	FT FTStore
+	// InitialActive, when non-nil, turns on elastic membership (elastic.go):
+	// the job is provisioned at Transport.NumNodes() slots but starts with
+	// only the listed node ids active; the rest may ElasticJoin later, and
+	// active nodes may ElasticLeave. Must list node 0 (the membership
+	// coordinator) and be identical on every node. Nil (the default) keeps
+	// the classic fixed-membership behaviour at zero cost.
+	InitialActive []int
 }
 
 // Runtime is one node of a charmgo job: it hosts PEs, the chare-type
@@ -184,6 +191,21 @@ type Runtime struct {
 	sampler *sampler            // nil unless Config.SampleInterval > 0
 	intro   *introspect.Cluster // nil unless introspection is configured
 
+	// elastic membership (elastic.go); view stays nil outside elastic mode
+	view     atomic.Pointer[memberView]
+	viewHook func(epoch int64, active []bool)
+	admitHook func(node int) error
+	elMu     sync.Mutex    // serializes coordinator membership transitions
+	running  chan struct{} // closed once Start has wired transport + PEs
+	extMu    sync.Mutex    // external (channel-awaited) futures
+	extSeq   int64
+	extW     map[int64]*extWaiter
+	byeMu    sync.Mutex // leaver-side goodbye collection
+	byeWant  map[int]bool
+	byeGot   map[int]bool
+	byeDone  bool
+	byeCh    chan struct{}
+
 	// test/diagnostic counters (atomics; the send path is hot)
 	nMsgsLocal atomic.Int64
 	nMsgsWire  atomic.Int64
@@ -207,6 +229,7 @@ func NewRuntime(cfg Config) *Runtime {
 		reducers: map[string]ReducerFunc{},
 		locCache: map[CID]map[string]PE{},
 		done:     make(chan struct{}),
+		running:  make(chan struct{}),
 		frags:    map[fragKey]*fragAsm{},
 	}
 	rt.arity = cfg.TreeArity
@@ -229,6 +252,9 @@ func NewRuntime(cfg Config) *Runtime {
 			recv:  make([]atomic.Int64, rt.numNodes),
 			holds: map[int][]*heldBcast{},
 		}
+	}
+	if cfg.InitialActive != nil {
+		rt.elasticInit()
 	}
 	rt.Register(&mainChare{}, Threaded("Run"))
 	return rt
@@ -296,6 +322,7 @@ func (rt *Runtime) Start(entry func(self *Chare)) {
 	if rt.sampler != nil {
 		go rt.sampler.loop()
 	}
+	close(rt.running) // transport wired, PEs draining: elastic requests may go
 	if rt.nodeID == 0 {
 		rt.pes[0].mbox.push(&Message{Kind: mStartMain, Src: -1})
 	}
@@ -316,7 +343,9 @@ func (rt *Runtime) Exit() {
 	rt.exitFn.Do(func() {
 		rt.cleanExit.Store(true)
 		rt.exited.Store(true)
-		if rt.cfg.Transport != nil {
+		// A node that already left the membership shuts down alone: the job
+		// keeps running on the remaining members.
+		if rt.cfg.Transport != nil && rt.nodeActive(rt.nodeID) {
 			if rt.agg != nil {
 				// Preserve ordering: pending application traffic must reach
 				// peers before the exit frame.
@@ -324,7 +353,7 @@ func (rt *Runtime) Exit() {
 			}
 			exit := &Message{Kind: mExit, Src: -1}
 			for n := 0; n < rt.numNodes; n++ {
-				if n != rt.nodeID {
+				if n != rt.nodeID && rt.nodeActive(n) {
 					// xmit swallows errors once exited; a peer may be down
 					rt.ordSentTo(n)
 					rt.xmit(n, appendMsg(transport.GetBuf(), -1, exit, rt.wt))
@@ -362,6 +391,9 @@ func (rt *Runtime) send(pe PE, m *Message) {
 	if pe < 0 || int(pe) >= rt.totalPEs {
 		panic(fmt.Sprintf("core: send to invalid PE %d (total %d)", pe, rt.totalPEs))
 	}
+	// Elastic membership: destinations on inactive slots delegate to the
+	// slot's stand-in node (stale tombs and caches self-heal by forwarding).
+	pe = rt.resolvePE(pe)
 	rt.qdCountSend(m.Kind)
 	if tr := rt.cfg.Trace; tr != nil && m.Kind == mInvoke {
 		src := -1
@@ -427,10 +459,10 @@ func (rt *Runtime) xmit(node int, buf []byte) {
 		transport.PutBuf(buf)
 	}
 	if err != nil && !rt.exited.Load() {
-		if rt.cfg.FT != nil {
-			// A send to a dying peer: drop the frame. The failure detector
-			// (internal/ft) owns the failure; panicking here would take the
-			// survivor down with the dead node.
+		if rt.cfg.FT != nil || rt.elastic() {
+			// A send to a dying or departed peer: drop the frame. The failure
+			// detector (internal/ft) or the membership protocol owns the
+			// peer's lifecycle; panicking here would take this node down too.
 			return
 		}
 		panic(fmt.Sprintf("core: transport send to node %d: %v", node, err))
@@ -460,7 +492,7 @@ func (rt *Runtime) xmitShared(nodes []int, buf []byte) {
 		// stack-allocated child arrays don't escape on the non-shared path.
 		ns := make([]int, len(nodes))
 		copy(ns, nodes)
-		if err := sb.SendBufShared(ns, buf); err != nil && !rt.exited.Load() && rt.cfg.FT == nil {
+		if err := sb.SendBufShared(ns, buf); err != nil && !rt.exited.Load() && rt.cfg.FT == nil && !rt.elastic() {
 			panic(fmt.Sprintf("core: transport send to nodes %v: %v", ns, err))
 		}
 		return
@@ -486,7 +518,7 @@ func (rt *Runtime) bcastAllPEs(m *Message) {
 		} else {
 			rt.nBcastSends.Add(int64(rt.numNodes - 1))
 			for n := 0; n < rt.numNodes; n++ {
-				if n != rt.nodeID {
+				if n != rt.nodeID && rt.nodeActive(n) {
 					rt.qdCountSend(m.Kind) // the frame itself, matched at ingress
 					if rt.agg != nil {
 						rt.agg.send(n, -1, m)
@@ -579,7 +611,11 @@ func (rt *Runtime) onFrame(from int, frame []byte) {
 			m.enq = tr.Since()
 		}
 		rt.localPE(dest).mbox.push(m)
-		rt.ordRecvFrom(from)
+		if !elasticKind(m.Kind) {
+			// Membership-protocol traffic is uncounted on both ends
+			// (elastic.go): its sender bypassed the sent vector too.
+			rt.ordRecvFrom(from)
+		}
 	}
 	rt.ordRelease(from)
 }
@@ -658,6 +694,14 @@ func (rt *Runtime) ingress(from int, frame []byte) (*Message, PE, bool) {
 	// been ingressed AND is visible locally. The branches ingress handles
 	// itself count here; the returned-unicast case is counted by the caller
 	// after the mailbox push.
+	if m.Kind == mElasticBye {
+		// Goodbye from a member that applied this node's retirement view;
+		// uncounted like all membership traffic (elastic.go).
+		if bm, ok := m.Ctl.(*elasticByeMsg); ok {
+			rt.byeFrom(bm.From)
+		}
+		return nil, 0, false
+	}
 	if m.Kind == mExit {
 		rt.ordRecvFrom(from)
 		rt.cleanExit.Store(true) // a peer's Exit reached us: orderly shutdown
@@ -754,13 +798,21 @@ func (rt *Runtime) cachedLoc(cid CID, key string) (PE, bool) {
 }
 
 // homePE returns the element's home PE, which tracks its location after
-// migrations (Charm++-style location management).
+// migrations (Charm++-style location management). The hash runs over the
+// full fixed PE space; elastic delegation then folds inactive slots onto
+// their stand-ins, so homes stay stable across view changes for every slot
+// that remains active.
 func (rt *Runtime) homePE(cid CID, key string) PE {
-	return PE(idxHash(keyIdx(key)) % uint64(rt.totalPEs))
+	return rt.resolvePE(PE(idxHash(keyIdx(key)) % uint64(rt.totalPEs)))
 }
 
-// initialPE computes the deterministic initial placement of an element.
+// initialPE computes the deterministic initial placement of an element
+// (delegated onto the active set in elastic mode).
 func (rt *Runtime) initialPE(cm *createMsg, idx []int) PE {
+	return rt.resolvePE(rt.initialPERaw(cm, idx))
+}
+
+func (rt *Runtime) initialPERaw(cm *createMsg, idx []int) PE {
 	switch cm.Kind {
 	case ckSingle:
 		if cm.OnPE >= 0 {

@@ -246,7 +246,7 @@ func (rt *Runtime) deliverTreeInner(inner []byte, release func(), owned bool) {
 // ones pooled copies) and relay them without re-serializing.
 func (rt *Runtime) bcastTree(m *Message) {
 	var cbuf [8]int
-	children := appendTreeChildren(cbuf[:0], rt.nodeID, rt.nodeID, rt.numNodes, rt.arity)
+	children := rt.viewChildren(cbuf[:0], rt.nodeID)
 	if len(children) == 0 {
 		return
 	}
@@ -317,7 +317,7 @@ func splitTreeFrame(frame []byte, numNodes, nodeID int) (need int64, inner []byt
 // across all children.
 func (rt *Runtime) relayTree(root int, frame []byte, kind msgKind) {
 	var cbuf [8]int
-	children := appendTreeChildren(cbuf[:0], rt.nodeID, root, rt.numNodes, rt.arity)
+	children := rt.viewChildren(cbuf[:0], root)
 	if len(children) == 0 {
 		return
 	}
@@ -452,7 +452,7 @@ func (rt *Runtime) onFragment(from int, frame []byte) {
 // across all children.
 func (rt *Runtime) relayFragment(frame []byte, kind msgKind, root, idx, chunkLen int) {
 	var cbuf [8]int
-	children := appendTreeChildren(cbuf[:0], rt.nodeID, root, rt.numNodes, rt.arity)
+	children := rt.viewChildren(cbuf[:0], root)
 	if len(children) == 0 {
 		return
 	}

@@ -91,6 +91,19 @@ const (
 	mIntroLBPoll  // root's load-stats poll broadcast
 	mIntroLBStats // one PE's poll reply
 	mIntroLBMoves // root's forced move orders broadcast
+
+	// elastic membership (elastic.go). Planned, zero-downtime join/leave:
+	// the control traffic of the membership protocol itself. None of these
+	// kinds is counted by quiescence detection or by the tree-broadcast
+	// causal-order vectors (elasticKind): membership changes must stay
+	// invisible to the ordering machinery they are rebuilding.
+	mElasticCtl    // join/leave request to the coordinator (node 0)
+	mElasticState  // per-PE collection-metadata install on a joining node
+	mElasticView   // epoch-versioned membership view commit (acked per PE)
+	mElasticCensus // per-PE element census poll, replied via an ext future
+	mElasticBye    // post-commit goodbye marker sent to a departing node
+	mElasticRehome // node-local: PE rescans element homes after a view change
+	mElasticAck    // raw completion of an external future (protocol acks/replies)
 )
 
 // idxKey converts an element index to a compact map key. The scratch buffer

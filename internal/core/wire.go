@@ -23,6 +23,8 @@ func init() {
 		&ftInjectMsg{}, &ftSeqMsg{}, ftHoldingsMsg{}, ftInjectAck{},
 		&introReportMsg{}, &introLBMsg{}, &introLBPollMsg{},
 		&introLBStatsMsg{}, &introLBMovesMsg{},
+		&elasticCtlMsg{}, &elasticStateMsg{}, &elasticViewMsg{},
+		&elasticCensusMsg{}, &elasticCensusReply{}, &elasticByeMsg{},
 	} {
 		ser.RegisterType(v)
 	}

@@ -1,0 +1,197 @@
+package elastic
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"charmgo/internal/core"
+	"charmgo/internal/introspect"
+)
+
+// SplitterOptions tunes hot-key splitting. Zero values select defaults.
+type SplitterOptions struct {
+	// Interval between censuses (default 500ms).
+	Interval time.Duration
+	// UtilThreshold is the PE utilization at or above which its hottest
+	// elements are split off (default 0.85).
+	UtilThreshold float64
+	// Cooldown suppresses re-moving the same element after a split
+	// (default 4×Interval): migration itself costs load, and the census
+	// lags one sample interval behind reality.
+	Cooldown time.Duration
+	// MaxMovesPerRound bounds each census's migrations (default 2).
+	MaxMovesPerRound int
+}
+
+// Splitter is load-driven hot-key splitting: it reads the introspection
+// layer's per-element load census (node 0's assembled cluster snapshot),
+// finds hot elements hosted by saturated PEs, and ForceMoves them to the
+// least-utilized active PE. It runs only on node 0 — the one node that has
+// the job-wide census — and needs Config.SampleInterval set so the census
+// is live.
+type Splitter struct {
+	rt   *core.Runtime
+	intr *introspect.Cluster
+	opt  SplitterOptions
+
+	mu      sync.Mutex
+	moved   map[string]time.Time // element key -> last move time
+	moves   int                  // cumulative splits issued
+	started atomic.Bool          // Run entered its loop
+	stop    chan struct{}
+	doneCh  chan struct{}
+}
+
+// NewSplitter creates a splitter over rt's introspection holder. Call Run
+// (usually in a goroutine) to start it and Stop to halt it.
+func NewSplitter(rt *core.Runtime, opt SplitterOptions) *Splitter {
+	if opt.Interval <= 0 {
+		opt.Interval = 500 * time.Millisecond
+	}
+	if opt.UtilThreshold <= 0 {
+		opt.UtilThreshold = 0.85
+	}
+	if opt.Cooldown <= 0 {
+		opt.Cooldown = 4 * opt.Interval
+	}
+	if opt.MaxMovesPerRound <= 0 {
+		opt.MaxMovesPerRound = 2
+	}
+	return &Splitter{
+		rt:     rt,
+		intr:   rt.Introspect(),
+		opt:    opt,
+		moved:  map[string]time.Time{},
+		stop:   make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+}
+
+// Run ticks the census loop until Stop. Blocks; run it in a goroutine.
+func (s *Splitter) Run() {
+	s.started.Store(true)
+	defer close(s.doneCh)
+	t := time.NewTicker(s.opt.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.Round()
+		}
+	}
+}
+
+// Stop halts the loop and waits for it to finish. Safe to call whether or
+// not Run was ever started (tests drive Round directly).
+func (s *Splitter) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	if s.started.Load() {
+		<-s.doneCh
+	}
+}
+
+// Moves returns the cumulative number of split migrations issued.
+func (s *Splitter) Moves() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.moves
+}
+
+// Round runs one census-and-split pass (also directly callable from tests).
+// Returns the number of moves issued.
+func (s *Splitter) Round() int {
+	if s.intr == nil {
+		return 0
+	}
+	snap := s.intr.Snapshot()
+	util := map[int]float64{} // global PE -> utilization
+	type hot struct {
+		cid  int32
+		elem introspect.HotElem
+	}
+	var hots []hot
+	for _, nv := range snap.Node {
+		if nv.Missing || nv.Dead || nv.Stale {
+			continue
+		}
+		for _, pe := range nv.PEs {
+			util[pe.PE] = pe.Util
+		}
+		for _, cs := range nv.Colls {
+			if cs.Kind != "array" && cs.Kind != "sparse" {
+				continue
+			}
+			for _, he := range cs.Hot {
+				hots = append(hots, hot{cid: cs.CID, elem: he})
+			}
+		}
+	}
+	if len(hots) == 0 {
+		return 0
+	}
+	// Destination pool: the active nodes' PEs, coolest first.
+	pes := s.activePEsByUtil(util)
+	if len(pes) < 2 {
+		return 0
+	}
+	now := time.Now()
+	issued := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, h := range hots {
+		if issued >= s.opt.MaxMovesPerRound {
+			break
+		}
+		if util[h.elem.PE] < s.opt.UtilThreshold {
+			continue
+		}
+		key := elemKey(h.cid, h.elem.Index)
+		if last, ok := s.moved[key]; ok && now.Sub(last) < s.opt.Cooldown {
+			continue
+		}
+		dest := pes[0]
+		if dest == h.elem.PE {
+			dest = pes[1]
+		}
+		if util[dest] >= s.opt.UtilThreshold {
+			continue // nowhere cooler to put it
+		}
+		s.rt.ForceMove(core.CID(h.cid), h.elem.Index, core.PE(dest))
+		s.moved[key] = now
+		s.moves++
+		issued++
+	}
+	return issued
+}
+
+// activePEsByUtil returns the active nodes' global PE ids sorted by
+// utilization ascending (unknown utilization counts as idle).
+func (s *Splitter) activePEsByUtil(util map[int]float64) []int {
+	var pes []int
+	for _, pe := range s.rt.ActivePEList() {
+		pes = append(pes, int(pe))
+	}
+	for i := 1; i < len(pes); i++ {
+		for j := i; j > 0 && util[pes[j]] < util[pes[j-1]]; j-- {
+			pes[j], pes[j-1] = pes[j-1], pes[j]
+		}
+	}
+	return pes
+}
+
+// elemKey builds a stable cooldown-map key for a collection element.
+func elemKey(cid int32, idx []int) string {
+	k := make([]byte, 0, 16)
+	k = append(k, byte(cid), byte(cid>>8), byte(cid>>16), byte(cid>>24))
+	for _, d := range idx {
+		k = append(k, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+	}
+	return string(k)
+}

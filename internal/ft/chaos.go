@@ -30,12 +30,15 @@ type Chaos struct {
 	inner transport.Transport
 	bs    transport.BufSender
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	drop    float64
-	delay   time.Duration
-	severed map[int]bool
-	links   map[int]*delayLink
+	mu        sync.Mutex
+	rng       *rand.Rand
+	drop      float64
+	delay     time.Duration
+	severed   map[int]bool
+	links     map[int]*delayLink
+	fuseArmed bool
+	fuse      int64
+	onCrash   func()
 
 	crashed atomic.Bool
 
@@ -93,6 +96,20 @@ func (c *Chaos) Heal(peer int) {
 // disconnected.
 func (c *Chaos) Crash() { c.crashed.Store(true) }
 
+// CrashAfterFrames arms a fuse: after n more outbound application frames
+// the layer crashes (as Crash) and fn, if non-nil, runs once on its own
+// goroutine. Unlike Crash this lands the failure in the middle of the
+// node's live message stream — the peers have received part of an
+// in-flight exchange and lose the rest — rather than at a quiet point
+// chosen by the caller. Detector control frames do not burn the fuse.
+func (c *Chaos) CrashAfterFrames(n int64, fn func()) {
+	c.mu.Lock()
+	c.fuseArmed = true
+	c.fuse = n
+	c.onCrash = fn
+	c.mu.Unlock()
+}
+
 // NodeID implements transport.Transport.
 func (c *Chaos) NodeID() int { return c.inner.NodeID() }
 
@@ -121,6 +138,17 @@ func (c *Chaos) decide(node int, frame []byte) int {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.fuseArmed && !ftControlFrame(frame) {
+		c.fuse--
+		if c.fuse < 0 {
+			c.fuseArmed = false
+			c.crashed.Store(true)
+			if fn := c.onCrash; fn != nil {
+				go fn()
+			}
+			return actDrop
+		}
+	}
 	if c.severed[node] {
 		return actDrop
 	}

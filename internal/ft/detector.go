@@ -25,8 +25,14 @@ import (
 // them.
 
 const (
-	hbDest    int32 = -3 // [4B LE -3]
+	hbDest    int32 = -3 // [4B LE -3]; with a trailing 'G' byte: goodbye
 	deathDest int32 = -4 // [4B LE -4][4B LE dead node]
+
+	// goodbyeMark turns a heartbeat frame into a goodbye: a planned
+	// departure announcement. Core claims every other negative dest word
+	// (-1/-2/-5 and the whole <= -6 tree range), so the goodbye rides the
+	// heartbeat dest with a discriminator byte instead of its own word.
+	goodbyeMark byte = 'G'
 )
 
 // putDest writes a (possibly negative) wire destination word.
@@ -72,6 +78,8 @@ type Detector struct {
 	start     time.Time
 	lastHeard []atomic.Int64 // ns since start, per peer
 	dead      []atomic.Bool
+	departed  []atomic.Bool // said goodbye: silence is planned, not a crash
+	watched   []atomic.Bool // monitored set; unwatched peers are never suspected
 
 	h       atomic.Pointer[transport.Handler]
 	started sync.Once
@@ -106,6 +114,11 @@ func NewDetector(inner transport.Transport, opts DetectorOptions) *Detector {
 	}
 	d.lastHeard = make([]atomic.Int64, d.n)
 	d.dead = make([]atomic.Bool, d.n)
+	d.departed = make([]atomic.Bool, d.n)
+	d.watched = make([]atomic.Bool, d.n)
+	for p := range d.watched {
+		d.watched[p].Store(true)
+	}
 	if bs, ok := inner.(transport.BufSender); ok {
 		d.bs = bs
 	}
@@ -126,6 +139,54 @@ func (d *Detector) PeerAlive(node int) bool {
 		return false
 	}
 	return !d.dead[node].Load()
+}
+
+// PeerDeparted reports whether a peer announced a planned departure via a
+// goodbye frame. Departed peers are never declared dead: their silence was
+// negotiated, so nothing needs recovering.
+func (d *Detector) PeerDeparted(node int) bool {
+	if node < 0 || node >= d.n {
+		return false
+	}
+	return d.departed[node].Load()
+}
+
+// Watch (re-)adds a peer to the monitored set: it is heartbeated, its
+// silence is timed, and it may be declared dead again. The liveness clock
+// is refreshed so the peer gets a full timeout of grace, and any previous
+// departed mark is cleared (a slot can leave and later rejoin).
+func (d *Detector) Watch(node int) {
+	if node < 0 || node >= d.n || node == d.self {
+		return
+	}
+	d.lastHeard[node].Store(int64(time.Since(d.start)))
+	d.departed[node].Store(false)
+	d.watched[node].Store(true)
+}
+
+// Unwatch removes a peer from the monitored set without marking it dead:
+// no heartbeats are sent to it and its silence is ignored. Used for
+// elastic membership slots that are provisioned but not (yet) active.
+func (d *Detector) Unwatch(node int) {
+	if node < 0 || node >= d.n {
+		return
+	}
+	d.watched[node].Store(false)
+}
+
+// Goodbye announces this node's planned departure to every live peer. Call
+// it after the runtime has drained (post-settle), immediately before
+// closing the transport: peers stop monitoring this node instead of
+// declaring it dead when the link goes quiet.
+func (d *Detector) Goodbye() {
+	var bye [5]byte
+	putDest(bye[:4], hbDest)
+	bye[4] = goodbyeMark
+	for p := 0; p < d.n; p++ {
+		if p != d.self && !d.dead[p].Load() {
+			_ = d.inner.Send(p, bye[:])
+		}
+	}
 }
 
 // Send implements transport.Transport. Sends to peers already declared
@@ -189,6 +250,11 @@ func (d *Detector) onFrame(from int, frame []byte) {
 	if len(frame) >= 4 {
 		switch int32(binary.LittleEndian.Uint32(frame)) {
 		case hbDest:
+			if len(frame) >= 5 && frame[4] == goodbyeMark &&
+				from >= 0 && from < d.n {
+				d.departed[from].Store(true)
+				d.watched[from].Store(false)
+			}
 			return
 		case deathDest:
 			if len(frame) >= 8 {
@@ -217,15 +283,21 @@ func (d *Detector) loop() {
 		}
 		now := int64(time.Since(d.start))
 		for p := 0; p < d.n; p++ {
-			if p == d.self || d.dead[p].Load() {
+			if p == d.self || d.dead[p].Load() || d.departed[p].Load() {
 				continue
 			}
 			// Heartbeat first so an idle peer has something to refresh us
 			// with on the next tick. Errors are the detector's own signal:
-			// a dead link shows up as silence.
+			// a dead link shows up as silence. Unwatched peers still get
+			// heartbeats — a provisioned-but-inactive slot watches the
+			// active cluster, and must keep hearing from it or its own
+			// detector would suspect everyone before it even joins.
 			_ = d.inner.Send(p, hb[:])
 			if c := d.mSent; c != nil {
 				c.Inc()
+			}
+			if !d.watched[p].Load() {
+				continue // kept warm, never suspected
 			}
 			silence := time.Duration(now - d.lastHeard[p].Load())
 			switch {
@@ -247,6 +319,12 @@ func (d *Detector) loop() {
 // notice to the remaining peers, and invoke the callback.
 func (d *Detector) declareDead(peer int) {
 	if peer < 0 || peer >= d.n || peer == d.self {
+		return
+	}
+	// A peer that said goodbye (or was unwatched by the membership layer)
+	// is silent on purpose: a local timeout cannot fire for it (the loop
+	// skips it), and a gossiped death notice about it is stale.
+	if d.departed[peer].Load() || !d.watched[peer].Load() {
 		return
 	}
 	if d.dead[peer].Swap(true) {

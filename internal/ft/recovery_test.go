@@ -60,6 +60,11 @@ type recHarness struct {
 	epoch  atomic.Int64 // last committed checkpoint epoch
 	finals chan int     // final totals from completing runs
 
+	// onCommit, when set before run(), is called synchronously from the
+	// driver loop right after each checkpoint commits — the place to arm
+	// faults that must race the following iterations' live traffic.
+	onCommit func(epoch int64)
+
 	// Without a pause the job can finish before the kill watcher fires;
 	// when kills are armed the driver blocks after each checkpoint until
 	// every armed kill has been delivered, so the failure deterministically
@@ -88,6 +93,9 @@ func newRecHarness(t *testing.T, nodes int) *recHarness {
 					t.Errorf("FTCheckpoint at iter %d: %v", it, err)
 				} else {
 					h.epoch.Store(ep)
+					if f := h.onCommit; f != nil {
+						f(ep)
+					}
 				}
 				if g := h.gate; g != nil {
 					<-g // hold here until the armed kills have landed
@@ -282,6 +290,69 @@ func TestKillOneNodeRecovery(t *testing.T) {
 		}
 		if v := reg.Counter("charmgo_ft_snapshots_total", "").Value(); v < 1 {
 			t.Errorf("launch %d: no snapshots on the coordinator", launch)
+		}
+		if t.Failed() {
+			t.Fatalf("stopping after failed launch %d", launch)
+		}
+	}
+}
+
+// TestRecoveryRacesLiveTraffic is the mid-flight variant of
+// TestKillOneNodeRecovery: the driver never pauses at the checkpoint
+// barrier, and the victim's crash is triggered by a frame fuse — its chaos
+// layer drops dead partway through an Add/reduce fan-out, so the survivors
+// hold a partial exchange when the detector fires. Recovery must restore
+// the committed epoch and replay to the bit-identical fault-free total,
+// with rotating victims and no goroutine leaks.
+func TestRecoveryRacesLiveTraffic(t *testing.T) {
+	leakcheck.Check(t)
+	for launch := 0; launch < 6; launch++ {
+		victim := launch % 3
+		h := newRecHarness(t, 3)
+		var fired atomic.Bool
+		killed := make(chan struct{})
+		h.onCommit = func(ep int64) {
+			// Arm once the first checkpoint has committed (so there is
+			// something to restore): a few application frames later the
+			// victim goes silent mid-exchange and its job is killed.
+			if ep != 1 || !fired.CompareAndSwap(false, true) {
+				return
+			}
+			h.chaosMu.Lock()
+			c := h.chaos[victim]
+			h.chaosMu.Unlock()
+			if c == nil {
+				t.Errorf("launch %d: no chaos layer for victim %d", launch, victim)
+				close(killed)
+				return
+			}
+			c.CrashAfterFrames(2, func() {
+				h.jobs[victim].Kill()
+				close(killed)
+			})
+		}
+		errs := h.run()
+		select {
+		case <-killed:
+		default:
+			t.Fatalf("launch %d: fuse never blew — job finished without racing the crash", launch)
+		}
+		for n, err := range errs {
+			if n == victim {
+				if !errors.Is(err, ErrKilled) {
+					t.Errorf("launch %d: victim %d returned %v, want ErrKilled", launch, n, err)
+				}
+			} else if err != nil {
+				t.Errorf("launch %d: survivor %d returned %v", launch, n, err)
+			}
+		}
+		h.final(launch)
+		coord := 0
+		if victim == 0 {
+			coord = 1
+		}
+		if r := h.jobs[coord].Store().Recoveries(); r != 1 {
+			t.Errorf("launch %d: coordinator recovered %d times, want 1", launch, r)
 		}
 		if t.Failed() {
 			t.Fatalf("stopping after failed launch %d", launch)

@@ -55,6 +55,18 @@ type CollSample struct {
 	Hot   []HotElem `json:"hot,omitempty"` // top-K by load, descending
 }
 
+// AdmissionSample is a node's admission-control state at sample time:
+// cumulative shed/delayed request counts and the quantiles of the mailbox
+// depths the gate observed. Present only on nodes that host an admission
+// gate (internal/elastic; typically the front-end node of a serving job).
+type AdmissionSample struct {
+	Rejected   int64   `json:"rejected"` // requests shed above the high watermark
+	Delayed    int64   `json:"delayed"`  // requests briefly held above the low watermark
+	DepthCount int64   `json:"depthCount"`
+	DepthP50   float64 `json:"depthP50"`
+	DepthP99   float64 `json:"depthP99"`
+}
+
 // NodeSnapshot is one node's introspection sample, shipped to node 0 over
 // the wire (gob; exported fields only).
 type NodeSnapshot struct {
@@ -72,6 +84,8 @@ type NodeSnapshot struct {
 	// (len(PEs) × TotalPEs row-major, source rows only), when tracing is on.
 	CommBytes []int64 `json:"commBytes,omitempty"`
 	TotalPEs  int     `json:"totalPEs"`
+	// Admission is set when this node hosts an admission gate.
+	Admission *AdmissionSample `json:"admission,omitempty"`
 }
 
 // NodeView wraps a NodeSnapshot with node-0-side freshness/liveness.

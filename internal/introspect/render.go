@@ -50,6 +50,10 @@ func Render(s ClusterSnapshot, opt RenderOptions) string {
 			fmt.Fprintf(&b, "  trace-drops=%d", d)
 		}
 		b.WriteByte('\n')
+		if a := nv.Admission; a != nil {
+			fmt.Fprintf(&b, "  admission shed=%d delayed=%d  mbox depth p50/p99 %.0f/%.0f (%d obs)\n",
+				a.Rejected, a.Delayed, a.DepthP50, a.DepthP99, a.DepthCount)
+		}
 		if nv.Dead || nv.Missing {
 			continue
 		}

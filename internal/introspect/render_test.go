@@ -61,6 +61,20 @@ func TestRenderBasics(t *testing.T) {
 	}
 }
 
+func TestRenderAdmission(t *testing.T) {
+	s := renderSnap()
+	if out := Render(s, RenderOptions{}); strings.Contains(out, "admission") {
+		t.Fatalf("admission line rendered for nodes without a gate:\n%s", out)
+	}
+	s.Node[0].Admission = &AdmissionSample{
+		Rejected: 7, Delayed: 3, DepthCount: 1200, DepthP50: 4, DepthP99: 96,
+	}
+	out := Render(s, RenderOptions{})
+	if !strings.Contains(out, "admission shed=7 delayed=3  mbox depth p50/p99 4/96 (1200 obs)") {
+		t.Errorf("admission line missing or malformed:\n%s", out)
+	}
+}
+
 func TestRenderTopK(t *testing.T) {
 	out := Render(renderSnap(), RenderOptions{TopK: 1})
 	if !strings.Contains(out, "900.000ms") {

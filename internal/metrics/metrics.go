@@ -239,6 +239,16 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	return hh
 }
 
+// Lookup returns the instrument registered under name (*Counter, *Gauge,
+// *Histogram, or the GaugeFunc's func() int64) without creating one — nil
+// when nothing is registered. For observers that surface a metric only if
+// some other component happens to maintain it.
+func (r *Registry) Lookup(name string) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byNm[name]
+}
+
 // WriteText writes every instrument in a Prometheus-style text exposition,
 // sorted by name for stable output.
 func (r *Registry) WriteText(w io.Writer) {

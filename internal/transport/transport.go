@@ -141,9 +141,6 @@ func NewMemNetwork(n int) *MemNetwork {
 		ep.cond = sync.NewCond(&ep.mu)
 		nw.eps[i] = ep
 	}
-	for i := 0; i < n; i++ {
-		go nw.eps[i].pump()
-	}
 	return nw
 }
 
@@ -155,11 +152,12 @@ type MemEndpoint struct {
 	nw   *MemNetwork
 	id   int
 	n    int
-	mu   sync.Mutex
-	cond *sync.Cond
-	q    []memFrame
-	h    Handler
-	done bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       []memFrame
+	h       Handler
+	done    bool
+	pumping bool
 }
 
 type memFrame struct {
@@ -182,11 +180,21 @@ func (e *MemEndpoint) NodeID() int { return e.id }
 // NumNodes implements Transport.
 func (e *MemEndpoint) NumNodes() int { return e.n }
 
-// SetHandler implements Transport.
+// SetHandler implements Transport. The delivery pump starts on the first
+// call: an endpoint no node ever claims (a recovery round built for a live
+// set that includes an already-dead peer) then owns no goroutine, instead
+// of leaking one waiting for a Close that never comes.
 func (e *MemEndpoint) SetHandler(h Handler) {
 	e.mu.Lock()
 	e.h = h
+	start := !e.pumping && !e.done
+	if start {
+		e.pumping = true
+	}
 	e.mu.Unlock()
+	if start {
+		go e.pump()
+	}
 	e.cond.Broadcast()
 }
 
@@ -302,9 +310,12 @@ func (e *MemEndpoint) Close() error {
 // ---- TCP transport ----
 
 // TCP is a socket transport. All nodes know the full address list; node i
-// listens on addrs[i] and dials every node j < i (so each pair has exactly
-// one connection). Frames are length-prefixed (4-byte big-endian) and the
-// dialing side sends its node id as the first frame.
+// listens on addrs[i] and dials every startup-mesh node j < i (so each pair
+// has exactly one connection). Frames are length-prefixed (4-byte
+// big-endian) and the dialing side sends its node id as the first frame.
+// With NewTCPElastic the startup mesh may cover only a subset of the
+// provisioned slots; connections to the rest are added later with AddPeer
+// and removed with DropPeer.
 type TCP struct {
 	id        int
 	addrs     []string
@@ -318,8 +329,11 @@ type TCP struct {
 	mu    sync.Mutex
 	conns map[int]net.Conn
 	wmu   map[int]*sync.Mutex
-	ready chan struct{} // closed when all peer conns are up
+	ready chan struct{} // closed when the startup mesh is up
+	rdyFn sync.Once
 	nUp   int
+	want  int   // startup connections to wait for (full mesh: all peers)
+	mesh  []int // the startup peer set (elastic: may omit provisioned slots)
 	done  bool
 }
 
@@ -339,6 +353,21 @@ func NewTCP(id int, addrs []string) (*TCP, error) {
 // NewTCPWithTimeout is NewTCP with an explicit startup handshake timeout
 // (timeout <= 0 selects the default).
 func NewTCPWithTimeout(id int, addrs []string, timeout time.Duration) (*TCP, error) {
+	peers := make([]int, 0, len(addrs))
+	for j := range addrs {
+		peers = append(peers, j)
+	}
+	return NewTCPElastic(id, addrs, peers, timeout)
+}
+
+// NewTCPElastic creates the transport for node id with a partial startup
+// mesh: only the nodes in peers connect to each other at startup; the
+// remaining addrs slots are provisioned (they have a known address and may
+// AddPeer their way in later) but not dialed. A node whose id is not in
+// peers starts isolated — listening, but with zero connections — which is
+// the posture of a joiner before it dials the cluster. Blocks until the
+// startup mesh is established or timeout expires.
+func NewTCPElastic(id int, addrs []string, peers []int, timeout time.Duration) (*TCP, error) {
 	if timeout <= 0 {
 		timeout = DefaultHandshakeTimeout
 	}
@@ -352,31 +381,45 @@ func NewTCPWithTimeout(id int, addrs []string, timeout time.Duration) (*TCP, err
 		closed:    make(chan struct{}),
 		hsTimeout: timeout,
 	}
+	inMesh := false
+	for _, p := range peers {
+		if p == id {
+			inMesh = true
+		} else if p >= 0 && p < len(addrs) {
+			t.mesh = append(t.mesh, p)
+		}
+	}
+	if inMesh {
+		t.want = len(t.mesh)
+	}
 	ln, err := net.Listen("tcp", addrs[id])
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addrs[id], err)
 	}
 	t.ln = ln
 	go t.acceptLoop()
-	// Dial lower-numbered peers.
-	for j := 0; j < id; j++ {
+	if !inMesh {
+		t.rdyFn.Do(func() { close(t.ready) })
+		return t, nil
+	}
+	// Dial lower-numbered mesh peers (so each pair has one connection).
+	for _, j := range t.mesh {
+		if j >= id {
+			continue
+		}
 		conn, err := dialRetry(addrs[j], timeout)
 		if err != nil {
 			ln.Close()
 			return nil, fmt.Errorf("transport: node %d startup handshake: dial node %d (%s): %w", id, j, addrs[j], err)
 		}
-		// Handshake: send our node id.
-		hello := make([]byte, 8)
-		binary.BigEndian.PutUint32(hello[:4], 4)
-		binary.BigEndian.PutUint32(hello[4:], uint32(id))
-		if _, err := conn.Write(hello); err != nil {
+		if err := sendHello(conn, id); err != nil {
 			ln.Close()
 			return nil, fmt.Errorf("transport: node %d startup handshake: hello to node %d: %w", id, j, err)
 		}
 		t.addConn(j, conn)
 	}
-	// Wait until higher-numbered peers have dialed us.
-	if len(addrs) > 1 {
+	// Wait until higher-numbered mesh peers have dialed us.
+	if t.want > 0 {
 		timer := time.NewTimer(timeout)
 		defer timer.Stop()
 		select {
@@ -387,24 +430,87 @@ func NewTCPWithTimeout(id int, addrs []string, timeout time.Duration) (*TCP, err
 			return nil, fmt.Errorf("transport: node %d startup handshake: timed out after %v in accept phase, still waiting for node(s) %v to connect",
 				id, timeout, missing)
 		}
+	} else {
+		t.rdyFn.Do(func() { close(t.ready) })
 	}
 	return t, nil
 }
 
-// missingPeers lists the nodes this endpoint has no connection to yet.
+// sendHello writes the dialer's node-id handshake frame.
+func sendHello(conn net.Conn, id int) error {
+	hello := make([]byte, 8)
+	binary.BigEndian.PutUint32(hello[:4], 4)
+	binary.BigEndian.PutUint32(hello[4:], uint32(id))
+	_, err := conn.Write(hello)
+	return err
+}
+
+// missingPeers lists the startup-mesh nodes this endpoint has no connection
+// to yet.
 func (t *TCP) missingPeers() []int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var missing []int
-	for j := range t.addrs {
-		if j == t.id {
-			continue
-		}
+	for _, j := range t.mesh {
 		if _, ok := t.conns[j]; !ok {
 			missing = append(missing, j)
 		}
 	}
 	return missing
+}
+
+// AddPeer dials a provisioned slot that was not part of the startup mesh
+// and adds the connection. It is how a joining node attaches to each active
+// member before asking the coordinator for admission. Idempotent: an
+// existing connection (from either direction) is kept. timeout <= 0 uses
+// the transport's handshake timeout.
+func (t *TCP) AddPeer(node int, timeout time.Duration) error {
+	if node == t.id {
+		return nil
+	}
+	if node < 0 || node >= len(t.addrs) {
+		return fmt.Errorf("transport: bad node id %d (of %d)", node, len(t.addrs))
+	}
+	if timeout <= 0 {
+		timeout = t.hsTimeout
+	}
+	t.mu.Lock()
+	_, have := t.conns[node]
+	done := t.done
+	t.mu.Unlock()
+	if done {
+		return ErrTransportClosed
+	}
+	if have {
+		return nil
+	}
+	conn, err := dialRetry(t.addrs[node], timeout)
+	if err != nil {
+		return fmt.Errorf("transport: node %d add peer %d (%s): %w", t.id, node, t.addrs[node], err)
+	}
+	if err := sendHello(conn, t.id); err != nil {
+		conn.Close()
+		return fmt.Errorf("transport: node %d add peer %d: hello: %w", t.id, node, err)
+	}
+	t.addConn(node, conn)
+	return nil
+}
+
+// DropPeer tears down the connection to a departed node, if any. Sends to
+// the node fail afterwards until an AddPeer (from either side) reconnects
+// it; the planned-departure protocol guarantees no traffic still targets
+// the node by the time it is dropped.
+func (t *TCP) DropPeer(node int) {
+	t.mu.Lock()
+	c, ok := t.conns[node]
+	if ok {
+		delete(t.conns, node)
+		delete(t.wmu, node)
+	}
+	t.mu.Unlock()
+	if ok {
+		c.Close()
+	}
 }
 
 // dialRetry dials addr with exponential backoff (peers may not be listening
@@ -457,14 +563,21 @@ func (t *TCP) acceptLoop() {
 
 func (t *TCP) addConn(peer int, c net.Conn) {
 	t.mu.Lock()
+	if _, dup := t.conns[peer]; dup {
+		// Simultaneous dials crossed (AddPeer racing an accept): keep the
+		// established connection, drop the newcomer.
+		t.mu.Unlock()
+		c.Close()
+		return
+	}
 	t.conns[peer] = c
 	t.wmu[peer] = &sync.Mutex{}
 	t.nUp++
-	allUp := t.nUp == len(t.addrs)-1
+	allUp := t.nUp >= t.want
 	t.mu.Unlock()
 	go t.readLoop(peer, c)
 	if allUp {
-		close(t.ready)
+		t.rdyFn.Do(func() { close(t.ready) })
 	}
 }
 
