@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check lint charmvet vet-baseline race fuzz bench collectives vet profile chaos gen gencheck bench/dispatch introspect serve serving
+.PHONY: all build test check lint charmvet vet-baseline race fuzz bench collectives vet profile chaos gen gencheck bench/dispatch bench/manychares introspect serve serving
 
 all: build
 
@@ -84,6 +84,7 @@ bench:
 	$(GO) test -run xxx -bench BenchmarkBroadcastReduce -benchtime 20x .
 	$(GO) run ./cmd/collectivebench
 	$(GO) run ./cmd/dispatchbench
+	$(GO) run ./cmd/manychares
 
 # bench/dispatch regenerates only BENCH_dispatch.json (generated bindings vs
 # reflective dispatch, mem/TCP transports; see EXPERIMENTS.md §dispatch) and
@@ -91,6 +92,13 @@ bench:
 bench/dispatch:
 	$(GO) test -run xxx -bench 'BenchmarkDispatch' -benchtime 2000x .
 	$(GO) run ./cmd/dispatchbench
+
+# bench/manychares regenerates BENCH_manychares.json: the overdecomposition
+# sweep (scheduler mode × placement × grain × GOMAXPROCS, up to 1M chares)
+# that gates the lock-free mailbox and work-stealing scheduler. See
+# EXPERIMENTS.md §manychares for the protocol and acceptance bars.
+bench/manychares:
+	$(GO) run ./cmd/manychares
 
 # collectives regenerates only BENCH_collectives.json (spanning-tree vs flat
 # broadcast+reduce; see EXPERIMENTS.md §collectives for the protocol).

@@ -48,7 +48,13 @@ func TestGoldenParity(t *testing.T) {
 				}
 				sb.WriteString(s + "\n")
 			}
-			golden, err := os.ReadFile(filepath.Join("testdata", "golden", tc.name+".golden"))
+			path := filepath.Join("testdata", "golden", tc.name+".golden")
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+					t.Fatalf("update golden: %v", err)
+				}
+			}
+			golden, err := os.ReadFile(path)
 			if err != nil {
 				t.Fatalf("golden: %v", err)
 			}

@@ -84,3 +84,58 @@ func background(s *Stats) {
 		_ = s.Counter
 	}()
 }
+
+// ---- work-stealing scheduler types (DESIGN.md §3.9) ----
+//
+// Stealable chares (no threaded or when-gated methods) may execute on any
+// PE of the node, so a receiver-capturing goroutine races not just with the
+// owner's next entry method but with a thief running the element elsewhere.
+// The same diagnostics must keep firing on these types.
+
+type StealWorker struct {
+	core.Chare
+	Hits int
+	Bins []int64
+}
+
+// DispatchEM marks the type as a fast-dispatch (and thus steal-eligible)
+// worker; the analyzer treats it like any other method.
+func (w *StealWorker) DispatchEM(id int, args []any) {
+	w.Bump(args[0].(core.Future))
+}
+
+func (w *StealWorker) Bump(done core.Future) {
+	w.Hits++
+	done.Send(w.Hits)
+}
+
+// A grant serializes entry methods, not receiver-capturing goroutines: this
+// race is worse under stealing because the next executor may be a thief PE.
+func (w *StealWorker) BumpDetached() {
+	go func() {
+		w.Hits++ // want "capturing the receiver w"
+	}()
+}
+
+// Sharing mutable chare state with a goroutine aliases it across PEs once
+// the element's run grant moves.
+func (w *StealWorker) ShareBins(done core.Future) {
+	go consumeBins(w.Bins, done) // want "capturing the receiver w"
+}
+
+func consumeBins(xs []int64, done core.Future) {
+	var total int64
+	for _, x := range xs {
+		total += x
+	}
+	done.Send(total)
+}
+
+// Fine: scalar copy out, result returns through a Future — safe no matter
+// which PE holds the grant.
+func (w *StealWorker) SumDetached(done core.Future) {
+	n := w.Hits
+	go func() {
+		done.Send(n + 1)
+	}()
+}

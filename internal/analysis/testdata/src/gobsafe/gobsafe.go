@@ -223,3 +223,28 @@ func kickElastic(pr core.Proxy, fut core.Future) {
 	pr.Call("RecvElasticView", ElasticView{Epoch: 2}, []ElasticCensus{})
 	fut.Send(ElasticUnregistered{Epoch: 2}) // want "never gob-registered"
 }
+
+// ---- work-stealing scheduler control types (DESIGN.md §3.9) ----
+// A run-grant handback crosses PE mailboxes as a control message; its
+// payload obeys the same gob rules as any other frame.
+
+// GrantHandback mirrors a thief returning an element's run grant to its
+// owner: exported fields only, gob-registered below.
+type GrantHandback struct {
+	CID int32
+	Key string
+}
+
+// GrantHandbackBad smuggles the thief's private deque bookkeeping into the
+// frame; the owner could never decode it.
+type GrantHandbackBad struct {
+	CID     int32
+	pending []int64
+}
+
+func (c *Cell) RecvHandback(h GrantHandback)       {}
+func (c *Cell) RecvHandbackBad(h GrantHandbackBad) {} // want "unexported field \"pending\""
+
+func init() {
+	ser.RegisterType(GrantHandback{})
+}

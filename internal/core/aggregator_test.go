@@ -125,7 +125,7 @@ func TestAggregationFlood(t *testing.T) {
 	}, func(self *Chare) {
 		g := self.NewGroup(&aggWorker{})
 		for i := 0; i < msgs; i++ {
-			g.At(i % (nodes * pes)).Call("Bump", 1)
+			g.At(i%(nodes*pes)).Call("Bump", 1)
 		}
 		f := self.CreateFuture()
 		g.Call("Total", f)
@@ -173,7 +173,7 @@ func TestAggregationDisabled(t *testing.T) {
 	}, func(self *Chare) {
 		g := self.NewGroup(&aggWorker{})
 		for i := 0; i < 500; i++ {
-			g.At(i % 4).Call("Bump", 2)
+			g.At(i%4).Call("Bump", 2)
 		}
 		f := self.CreateFuture()
 		g.Call("Total", f)

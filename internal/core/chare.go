@@ -246,7 +246,7 @@ func (c *Chare) Migrate(toPE PE) {
 	if ec.el.liveThreads > 1 || (ec.el.liveThreads == 1 && ec.p.curThread == nil) {
 		panic("core: cannot migrate a chare with suspended threaded entry methods")
 	}
-	ec.el.migrateTo = toPE
+	ec.el.migrateTo.Store(int32(toPE))
 }
 
 // AtSync tells the runtime this chare has reached a load-balancing
@@ -255,12 +255,16 @@ func (c *Chare) Migrate(toPE PE) {
 // ResumeFromSync entry method (if defined) is invoked.
 func (c *Chare) AtSync() {
 	ec := c.ctx()
-	ec.el.atSync = true
-	ec.p.lbMaybeSendStats(ec.coll)
+	ec.el.atSync.Store(true)
+	// On a thief PE the stats scan must wait for the owner: the grant tail
+	// (steal.go runGrant) hands the grant home, and the owner runs the scan.
+	if ec.p == ec.el.owner || ec.el.owner == nil {
+		ec.p.lbMaybeSendStats(ec.coll)
+	}
 }
 
 // Load returns the wall-clock entry-method time accumulated by this chare
 // since the last load-balancing round (exposed for tests and examples).
 func (c *Chare) Load() float64 {
-	return c.ctx().el.load.Seconds()
+	return c.ctx().el.loadDur().Seconds()
 }

@@ -268,7 +268,7 @@ func (rt *Runtime) ActivePEList() []PE {
 // PE mailboxes — the backlog signal admission control gates on. Safe from
 // any goroutine.
 func (rt *Runtime) MailboxDepth() int {
-	n := 0
+	n := int(rt.runqBacklog.Load()) // stealable work parked on element run queues
 	for _, p := range rt.pes {
 		n += p.mbox.len()
 	}
@@ -528,16 +528,7 @@ func (rt *Runtime) ordFlushRoot(root int) {
 // scrubLocNode drops location-cache hints pointing at a deactivated node;
 // routing falls back to the (rehomed) authoritative home entries.
 func (rt *Runtime) scrubLocNode(node int) {
-	lo, hi := PE(node*rt.cfg.PEs), PE((node+1)*rt.cfg.PEs)
-	rt.locMu.Lock()
-	for _, m := range rt.locCache {
-		for k, pe := range m {
-			if pe >= lo && pe < hi {
-				delete(m, k)
-			}
-		}
-	}
-	rt.locMu.Unlock()
+	rt.loc.scrubRange(PE(node*rt.cfg.PEs), PE((node+1)*rt.cfg.PEs))
 }
 
 // noteRetired records, on a node that just became inactive, which members
@@ -603,7 +594,7 @@ func (p *peState) elasticCensus(cm *elasticCensusMsg) {
 			}
 			rep.Elems = append(rep.Elems, elasticElemInfo{
 				CID: cid, Key: key,
-				Busy: el.liveThreads > 0 || el.atSync || el.migrateTo >= 0,
+				Busy: el.liveThreads > 0 || el.atSync.Load() || el.migrateTo.Load() >= 0,
 			})
 		}
 	}
@@ -1052,6 +1043,10 @@ func (rt *Runtime) ElasticLeave(timeout time.Duration) error {
 	if !rt.nodeActive(rt.nodeID) {
 		return errors.New("core: node is not an active member")
 	}
+	// Stop stealing for good on the leaver: the drain loop migrates every
+	// element away, and a thief holding a run grant would race the censused
+	// move orders. The node is being torn down, so this never resumes.
+	rt.pauseStealing()
 	return rt.elasticRequest(elOpLeave, timeout)
 }
 
@@ -1074,7 +1069,7 @@ func (rt *Runtime) ElasticSettle(timeout time.Duration) error {
 			return errors.New("core: mailboxes failed to settle")
 		}
 		time.Sleep(10 * time.Millisecond)
-		busy := false
+		busy := rt.runqBacklog.Load() > 0
 		for _, p := range rt.pes {
 			if p.mbox.len() > 0 {
 				busy = true

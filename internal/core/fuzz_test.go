@@ -15,7 +15,7 @@ func fuzzFrameSeeds(wt *wireTables) [][]byte {
 		encodeMsg(3, &Message{
 			Kind: mInvoke, CID: 7, Src: 1, MID: 2, Fut: FutureRef{PE: 1, ID: 5},
 			Method: "Step", Idx: []int{4, 5},
-			Args:   []any{42, "x", []float64{1, 2.5}, []byte{9, 8}},
+			Args: []any{42, "x", []float64{1, 2.5}, []byte{9, 8}},
 		}),
 		appendMsg(nil, 0, &Message{
 			Kind: mInvoke, CID: 1, Src: 0, MID: -1, Method: "Add",

@@ -88,10 +88,12 @@ type introLBMovesMsg struct {
 // on the hot path only when a sampler is attached (one predicted branch
 // otherwise, and never an allocation).
 type peStats struct {
-	busy    atomic.Int64 // entry-method nanos, added at EM/segment completion
-	ems     atomic.Int64 // entry methods completed
-	recvs   atomic.Int64 // messages dequeued
-	emStart atomic.Int64 // unix-nano start of the in-flight EM; 0 when idle
+	busy       atomic.Int64 // entry-method nanos, added at EM/segment completion
+	ems        atomic.Int64 // entry methods completed
+	recvs      atomic.Int64 // messages dequeued
+	emStart    atomic.Int64 // unix-nano start of the in-flight EM; 0 when idle
+	steals     atomic.Int64 // run grants stolen from sibling PEs (steal.go)
+	stealFails atomic.Int64 // steal attempts that found no victim work
 }
 
 // sampler is the per-node sampling goroutine plus the round state collecting
@@ -103,13 +105,14 @@ type sampler struct {
 	stop     chan struct{}
 	done     chan struct{}
 
-	mu        sync.Mutex
-	seq       int64
-	lastTick  time.Time
-	prevBusy  []int64 // per local PE: effective busy nanos at last tick
-	prevEMs   []int64
-	prevRecvs []int64
-	cur       *sampleRound
+	mu         sync.Mutex
+	seq        int64
+	lastTick   time.Time
+	prevBusy   []int64 // per local PE: effective busy nanos at last tick
+	prevEMs    []int64
+	prevRecvs  []int64
+	prevSteals []int64
+	cur        *sampleRound
 }
 
 type sampleRound struct {
@@ -124,15 +127,16 @@ func newSampler(rt *Runtime) *sampler {
 		topK = 5
 	}
 	return &sampler{
-		rt:        rt,
-		interval:  rt.cfg.SampleInterval,
-		topK:      topK,
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
-		lastTick:  time.Now(),
-		prevBusy:  make([]int64, rt.cfg.PEs),
-		prevEMs:   make([]int64, rt.cfg.PEs),
-		prevRecvs: make([]int64, rt.cfg.PEs),
+		rt:         rt,
+		interval:   rt.cfg.SampleInterval,
+		topK:       topK,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		lastTick:   time.Now(),
+		prevBusy:   make([]int64, rt.cfg.PEs),
+		prevEMs:    make([]int64, rt.cfg.PEs),
+		prevRecvs:  make([]int64, rt.cfg.PEs),
+		prevSteals: make([]int64, rt.cfg.PEs),
 	}
 }
 
@@ -195,17 +199,21 @@ func (s *sampler) tick() {
 		s.prevBusy[i] = busy
 		ems := p.stats.ems.Load()
 		recvs := p.stats.recvs.Load()
+		steals := p.stats.steals.Load()
 		ps := introspect.PESample{
 			PE:           int(rt.basePE) + i,
 			BusyNanos:    dBusy,
 			EMs:          ems - s.prevEMs[i],
 			Recvs:        recvs - s.prevRecvs[i],
+			Steals:       steals - s.prevSteals[i],
 			MailboxDepth: p.mbox.len(),
 			TotalEMs:     ems,
 			TotalRecvs:   recvs,
+			TotalSteals:  steals,
 		}
 		s.prevEMs[i] = ems
 		s.prevRecvs[i] = recvs
+		s.prevSteals[i] = steals
 		if window > 0 {
 			ps.Util = float64(dBusy) / float64(window)
 			if ps.Util > 1 {
@@ -417,13 +425,14 @@ func (p *peState) introSample(seq int64) {
 			Elems: len(coll.elems),
 		}
 		for _, el := range coll.elems {
-			if el.dead || el.load <= 0 {
+			load := el.loadDur()
+			if el.dead || load <= 0 {
 				continue
 			}
 			cs.Hot = append(cs.Hot, introspect.HotElem{
 				Index:      append([]int(nil), el.idx...),
 				PE:         int(p.pe),
-				LoadMillis: float64(el.load) / float64(time.Millisecond),
+				LoadMillis: float64(load) / float64(time.Millisecond),
 			})
 		}
 		sort.Slice(cs.Hot, func(i, j int) bool { return cs.Hot[i].LoadMillis > cs.Hot[j].LoadMillis })
@@ -512,7 +521,7 @@ func (p *peState) introLBPoll(pm *introLBPollMsg) {
 			if el.dead {
 				continue
 			}
-			objs = append(objs, LBObject{Key: el.key, PE: p.pe, Load: el.load.Seconds()})
+			objs = append(objs, LBObject{Key: el.key, PE: p.pe, Load: el.loadDur().Seconds()})
 		}
 	}
 	p.rt.send(rootPE(p.rt, pm.CID), &Message{Kind: mIntroLBStats, CID: pm.CID, Src: p.pe,
@@ -564,13 +573,24 @@ func (p *peState) introLBMoves(lm *introLBMovesMsg) {
 	var moving []*element
 	for key, dest := range lm.Moves {
 		el, ok := coll.elems[key]
-		if !ok || el.dead || el.atSync || el.migrateTo >= 0 || dest == p.pe {
+		if !ok || el.dead || el.atSync.Load() || el.migrateTo.Load() >= 0 || dest == p.pe {
 			continue
 		}
-		el.migrateTo = dest
+		el.migrateTo.Store(int32(dest))
 		moving = append(moving, el)
 	}
 	for _, el := range moving {
+		if el.stealable {
+			el.ensureRunq()
+			// Stealable element: the move must hold the run grant (a thief may
+			// be executing it). If another PE holds the grant, its release
+			// re-check observes the migrateTo stored above and finishes the
+			// move by routing the grant back here.
+			if p.grabGrant(el) {
+				p.runGrant(el)
+			}
+			continue
+		}
 		if el.liveThreads == 0 {
 			p.migrateOut(el)
 		}

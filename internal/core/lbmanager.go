@@ -38,13 +38,13 @@ func (p *peState) lbMaybeSendStats(coll *localColl) {
 		return
 	}
 	for _, el := range coll.elems {
-		if !el.atSync {
+		if !el.atSync.Load() {
 			return
 		}
 	}
 	objs := make([]LBObject, 0, len(coll.elems))
 	for _, el := range coll.elems {
-		objs = append(objs, LBObject{Key: el.key, PE: p.pe, Load: el.load.Seconds()})
+		objs = append(objs, LBObject{Key: el.key, PE: p.pe, Load: el.loadDur().Seconds()})
 	}
 	coll.lbStatsSent = true
 	p.rt.send(rootPE(p.rt, collCID(coll)), &Message{
@@ -98,12 +98,23 @@ func (p *peState) lbApplyMoves(lm *lbMovesMsg) {
 	var moving []*element
 	for key, dest := range lm.Moves {
 		if el, ok := coll.elems[key]; ok && !el.dead && dest != p.pe {
-			el.migrateTo = dest
 			el.lbMove = true
+			el.migrateTo.Store(int32(dest))
 			moving = append(moving, el)
 		}
 	}
 	for _, el := range moving {
+		if el.stealable {
+			// Stealable element: acquire the run grant before migrating (the
+			// element may be executing on a sibling PE right now). If another
+			// PE holds it, its release re-check observes the migrateTo we just
+			// stored and routes the grant back here to finish the move.
+			el.ensureRunq()
+			if p.grabGrant(el) {
+				p.runGrant(el)
+			}
+			continue
+		}
 		p.migrateOut(el)
 	}
 }
@@ -125,8 +136,8 @@ func (p *peState) lbResume(cid CID) {
 	coll.lbStatsSent = false
 	els := make([]*element, 0, len(coll.elems))
 	for _, el := range coll.elems {
-		el.atSync = false
-		el.load = 0
+		el.atSync.Store(false)
+		el.setLoad(0)
 		els = append(els, el)
 	}
 	if !coll.ct.hasResume {
@@ -137,7 +148,14 @@ func (p *peState) lbResume(cid CID) {
 		if el.dead {
 			continue
 		}
-		p.invokeEMInner(el, info, &Message{Kind: mInvoke, CID: cid, Idx: el.idx, MID: info.id, Method: "ResumeFromSync", Src: p.pe})
+		m := &Message{Kind: mInvoke, CID: cid, Idx: el.idx, MID: info.id, Method: "ResumeFromSync", Src: p.pe}
+		if el.stealable {
+			// Stealable element: ResumeFromSync rides the run-grant path like
+			// any other invoke (it may be executing on a sibling right now).
+			p.runqPush(el, m)
+			continue
+		}
+		p.invokeEMInner(el, info, m)
 		p.recheck(el)
 	}
 }

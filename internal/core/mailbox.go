@@ -40,9 +40,14 @@ func (mb *mailbox) grow(n int) {
 		newCap *= 2
 	}
 	nb := make([]*Message, newCap)
-	for i := 0; i < mb.count; i++ {
-		nb[i] = mb.buf[(mb.head+i)%len(mb.buf)]
+	// Unwrap the ring with at most two memmove-speed copies: head..end of the
+	// old buffer, then the wrapped prefix (empty when the ring is contiguous).
+	first := mb.count
+	if tail := len(mb.buf) - mb.head; first > tail {
+		first = tail
 	}
+	copy(nb, mb.buf[mb.head:mb.head+first])
+	copy(nb[first:], mb.buf[:mb.count-first])
 	mb.buf = nb
 	mb.head = 0
 }
@@ -139,6 +144,10 @@ func (mb *mailbox) len() int {
 	defer mb.mu.Unlock()
 	return mb.count
 }
+
+// wake is a no-op: the condvar in push/pushFront already signals the
+// consumer. Present so mailbox satisfies the mboxQ interface (pe.go).
+func (mb *mailbox) wake() {}
 
 // close wakes any blocked pop and makes future pushes fail.
 func (mb *mailbox) close() {

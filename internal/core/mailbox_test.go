@@ -125,6 +125,60 @@ func TestMailboxRingWraparound(t *testing.T) {
 	}
 }
 
+// TestMailboxGrowUnwrapped grows a ring whose live window is contiguous
+// (head=0, no wraparound) and checks order and count survive.
+func TestMailboxGrowUnwrapped(t *testing.T) {
+	mb := newMailbox()
+	// Fill past the initial capacity (16) in one run: head stays at 0, so the
+	// grow copy is the single-copy contiguous case.
+	for i := 0; i < 100; i++ {
+		mb.push(&Message{MID: int32(i)})
+	}
+	if got := mb.len(); got != 100 {
+		t.Fatalf("len = %d, want 100", got)
+	}
+	for i := 0; i < 100; i++ {
+		m, ok := mb.pop()
+		if !ok || m.MID != int32(i) {
+			t.Fatalf("pop %d: got %v ok=%v", i, m, ok)
+		}
+	}
+}
+
+// TestMailboxGrowWrapped forces the live window to wrap around the end of
+// the ring before growth, exercising the two-copy unwrap.
+func TestMailboxGrowWrapped(t *testing.T) {
+	mb := newMailbox()
+	// Fill to the initial capacity, drain most, refill so the window wraps.
+	for i := 0; i < 16; i++ {
+		mb.push(&Message{MID: int32(i)})
+	}
+	for i := 0; i < 12; i++ {
+		if m, _ := mb.pop(); m.MID != int32(i) {
+			t.Fatalf("warmup pop got %d", m.MID)
+		}
+	}
+	// head is now 12 with 4 queued (12..15); pushing 12 more wraps the tail
+	// to indices 0..7 without growing (count 16 == cap 16) ...
+	next := int32(16)
+	for i := 0; i < 12; i++ {
+		mb.push(&Message{MID: next})
+		next++
+	}
+	// ... and the next push grows from a wrapped layout.
+	mb.push(&Message{MID: next})
+	next++
+	for expect := int32(12); expect < next; expect++ {
+		m, ok := mb.pop()
+		if !ok || m.MID != expect {
+			t.Fatalf("pop got %v ok=%v, want %d", m, ok, expect)
+		}
+	}
+	if mb.len() != 0 {
+		t.Fatalf("len = %d after drain", mb.len())
+	}
+}
+
 func TestMailboxConcurrentProducers(t *testing.T) {
 	mb := newMailbox()
 	const producers, each = 8, 500

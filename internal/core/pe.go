@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"reflect"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -11,14 +13,30 @@ import (
 	"charmgo/internal/ser"
 )
 
+// mboxQ is the mailbox contract a PE scheduler drains: the lock-free MPSC
+// queue (mailbox_mpsc.go, the default) or the legacy mutex ring
+// (Config.MutexMailbox).
+type mboxQ interface {
+	push(*Message) bool
+	pushAll([]*Message) bool
+	pushFront(*Message) bool
+	pop() (*Message, bool)
+	tryPop() (*Message, bool)
+	len() int
+	close()
+	wake()
+}
+
 // peState is one processing element: a scheduler goroutine, its mailbox, and
-// the chares it currently hosts. All fields except the mailbox are owned by
-// the scheduler (or by the single entry-method thread currently holding the
-// PE token), so no further locking is needed.
+// the chares it currently hosts. All fields except the mailbox (and, under
+// work stealing, the deque/runq/idle machinery in steal.go) are owned by the
+// scheduler (or by the single entry-method thread currently holding the PE
+// token), so no further locking is needed.
 type peState struct {
 	rt   *Runtime
 	pe   PE
-	mbox *mailbox
+	mbox mboxQ
+	lfmb *lfMailbox // concrete mailbox when lock-free (nil under MutexMailbox)
 
 	colls       map[CID]*localColl
 	pendingColl map[CID][]*Message // messages for collections not yet created here
@@ -43,6 +61,16 @@ type peState struct {
 
 	ftG map[int64]*ftGatherState // in-flight ft checkpoint gathers (node-first PE)
 
+	// work stealing (steal.go); nil/zero unless Config.StealEnabled
+	deque      *stealDeque // bounded Chase-Lev deque of stealable run grants
+	grantOvf   []*element  // deque-overflow grants, this goroutine only
+	ovfHead    int         // first live entry in grantOvf
+	grantCap   int64       // publish throttle: max outstanding deque grants
+	stealRng   *rand.Rand  // victim selection; seeded from Config.StealSeed+pe
+	lastVictim int         // last successful victim (affinity re-probe)
+	idle       atomic.Bool // parked with nothing to run (wake-idle protocol)
+	alsoFn     func() bool // cached park re-check closure (no per-park alloc)
+
 	// stats are the cumulative counters behind live introspection sampling,
 	// written by the scheduler only when a sampler is attached and read by
 	// the sampler goroutine (hence atomics).
@@ -64,6 +92,12 @@ type localColl struct {
 	insCount    int                    // local insert count (sparse)
 	lbStatsSent bool
 
+	// nLive mirrors len(elems) as an atomic so reduction completion checks
+	// work from thief PEs too (steal.go); redMu serializes contribute/flush
+	// against concurrent grant execution on sibling PEs.
+	nLive atomic.Int32
+	redMu sync.Mutex
+
 	// treeExpect caches the number of contributions this node's reduction
 	// combiner must merge before forwarding up the tree: the elements
 	// initially placed on any node of this node's subtree (static under
@@ -72,7 +106,10 @@ type localColl struct {
 	treeExpectOK bool
 }
 
-// element is one chare instance hosted on this PE.
+// element is one chare instance hosted on this PE. Plain fields are owned by
+// the scheduler (or, for stealable elements, by whichever PE currently holds
+// the element's run grant — the sched flag guarantees one holder at a time);
+// the atomic fields are the ones read or written across that boundary.
 type element struct {
 	obj         reflect.Value // pointer to the user struct
 	iface       any
@@ -85,15 +122,32 @@ type element struct {
 	buf         []*Message // when-buffered messages
 	waiters     []*waiter
 	chans       map[string]*chanStream // channel receive streams
-	redNo       int64
-	load        time.Duration
-	atSync      bool
-	migrateTo   PE
+	redNo       atomic.Int64
+	load        atomic.Int64 // cumulative entry-method wall time, nanoseconds
+	atSync      atomic.Bool
+	migrateTo   atomic.Int32 // requested destination PE; -1 when none
 	lbMove      bool
 	liveThreads int
 	inRecheck   bool
 	dead        bool
+
+	// work stealing (steal.go); stealable is set iff the element's type is
+	// stealable and Config.StealEnabled is on. The runq itself materializes
+	// lazily, on the first grant that is published rather than run inline —
+	// at 1M-element overdecomposition the per-element queue would otherwise
+	// dominate heap scan time. Always allocated before the grant becomes
+	// visible to other PEs (deque publication orders the write).
+	stealable bool
+	runq      *elemRunq    // per-element FIFO of granted-but-unexecuted messages
+	sched     atomic.Int32 // 1 while a PE (or an in-flight mRunGrant) holds the grant
+	owner     *peState     // the hosting PE (routing/migration authority)
 }
+
+// loadDur returns the element's accumulated entry-method time.
+func (el *element) loadDur() time.Duration { return time.Duration(el.load.Load()) }
+
+func (el *element) addLoad(d time.Duration) { el.load.Add(int64(d)) }
+func (el *element) setLoad(d time.Duration) { el.load.Store(int64(d)) }
 
 type waiter struct {
 	e  *expr.Expr
@@ -117,10 +171,9 @@ type thYield struct {
 func (p *peState) lpe() int { return int(p.pe - p.rt.basePE) }
 
 func newPEState(rt *Runtime, pe PE) *peState {
-	return &peState{
+	p := &peState{
 		rt:          rt,
 		pe:          pe,
-		mbox:        newMailbox(),
 		colls:       map[CID]*localColl{},
 		pendingColl: map[CID][]*Message{},
 		futures:     map[int64]*futState{},
@@ -130,11 +183,42 @@ func newPEState(rt *Runtime, pe PE) *peState {
 		suspended:   map[*emThread]bool{},
 		lbRoot:      map[CID]*lbRootState{},
 	}
+	if rt.cfg.MutexMailbox {
+		p.mbox = newMailbox()
+	} else {
+		p.lfmb = newLFMailbox()
+		p.mbox = p.lfmb
+	}
+	if rt.cfg.StealEnabled {
+		p.deque = newStealDeque(rt.dequeSize)
+		// Cap outstanding published grants well below the deque capacity:
+		// past this point thieves are not keeping up and further publishing
+		// only buys runq materialization and GC pressure (see runqPush).
+		p.grantCap = int64(rt.dequeSize) / 4
+		if p.grantCap > 64 {
+			p.grantCap = 64
+		} else if p.grantCap < 1 {
+			p.grantCap = 1
+		}
+		seed := rt.cfg.StealSeed
+		if seed == 0 {
+			seed = 0x5bd1e995
+		}
+		p.stealRng = rand.New(rand.NewSource(seed + int64(pe)*0x9e3779b9))
+		p.lastVictim = -1
+		p.alsoFn = p.parkCheck
+	}
+	return p
 }
 
 // loop is the PE scheduler: Charm++-style message-driven execution, one
-// entry method at a time.
+// entry method at a time. With Config.StealEnabled it runs the work-stealing
+// variant instead (steal.go).
 func (p *peState) loop() {
+	if p.rt.cfg.StealEnabled {
+		p.stealLoop()
+		return
+	}
 	tr := p.rt.cfg.Trace
 	lpe := p.lpe()
 	for !p.exiting {
@@ -157,28 +241,37 @@ func (p *peState) loop() {
 		if !ok {
 			break
 		}
-		if tr != nil && m.enq != 0 {
-			now := tr.Since()
-			tr.Recv(lpe, m.Method, now, now-m.enq)
-		}
-		if met := p.rt.met; met != nil {
-			met.peRecvs[lpe].Inc()
-		}
-		if sm := p.rt.sampler; sm != nil {
-			p.stats.recvs.Add(1)
-		}
-		p.rt.qdCountRecv(m.Kind)
-		p.handle(m)
-		// Zero-copy broadcast fan-out: the same *Message was queued to every
-		// local PE; the last one to finish handling it releases the shared
-		// payload (e.g. the pooled reassembly buffer of a fragmented
-		// broadcast).
-		if sh := m.shared; sh != nil && sh.refs.Add(-1) == 0 && sh.release != nil {
-			sh.release()
-		}
+		p.dispatch(m)
 	}
-	// Terminate suspended threads cleanly (their resume channels are closed;
-	// they call runtime.Goexit).
+	p.shutdownThreads()
+}
+
+// dispatch accounts for and handles one dequeued message.
+func (p *peState) dispatch(m *Message) {
+	if tr := p.rt.cfg.Trace; tr != nil && m.enq != 0 {
+		now := tr.Since()
+		tr.Recv(p.lpe(), m.Method, now, now-m.enq)
+	}
+	if met := p.rt.met; met != nil {
+		met.peRecvs[p.lpe()].Inc()
+	}
+	if sm := p.rt.sampler; sm != nil {
+		p.stats.recvs.Add(1)
+	}
+	p.rt.qdCountRecv(m.Kind)
+	p.handle(m)
+	// Zero-copy broadcast fan-out: the same *Message was queued to every
+	// local PE; the last one to finish handling it releases the shared
+	// payload (e.g. the pooled reassembly buffer of a fragmented
+	// broadcast).
+	if sh := m.shared; sh != nil && sh.refs.Add(-1) == 0 && sh.release != nil {
+		sh.release()
+	}
+}
+
+// shutdownThreads terminates suspended threads cleanly (their resume
+// channels are closed; they call runtime.Goexit).
+func (p *peState) shutdownThreads() {
 	for th := range p.suspended {
 		close(th.resume)
 	}
@@ -288,11 +381,26 @@ func (p *peState) handle(m *Message) {
 		p.rt.byeFrom(m.Ctl.(*elasticByeMsg).From)
 	case mChanMsg:
 		if el, done := p.routeElem(m); !done {
+			if el.stealable {
+				p.runqPush(el, m)
+				break
+			}
 			cm := m.Ctl.(*chanMsg)
 			if needsRebind(cm.Val) {
 				cm.Val = rebindPure(cm.Val, p.rt, p, 0)
 			}
 			p.chanDeliver(el, cm)
+		}
+	case mRunGrant:
+		gm := m.Ctl.(*runGrantMsg)
+		coll := p.colls[gm.CID]
+		if coll == nil {
+			break // shutdown teardown; the grant dies with the job
+		}
+		if el := coll.elems[gm.Key]; el != nil && !el.dead {
+			// The message carried the element's run grant (sched stayed 1 the
+			// whole flight): run it here.
+			p.runGrant(el)
 		}
 	default:
 		panic(fmt.Sprintf("core: PE %d: unknown message kind %d", p.pe, m.Kind))
@@ -385,14 +493,16 @@ func (p *peState) createColl(cm *createMsg) {
 func (p *peState) newElement(coll *localColl, cid CID, idx []int, args []any) *element {
 	objv := reflect.New(coll.ct.rtype)
 	el := &element{
-		obj:       objv,
-		iface:     objv.Interface(),
-		idx:       append([]int(nil), idx...),
-		key:       idxKey(idx),
-		cid:       cid,
-		coll:      coll,
-		migrateTo: -1,
+		obj:   objv,
+		iface: objv.Interface(),
+		idx:   append([]int(nil), idx...),
+		key:   idxKey(idx),
+		cid:   cid,
+		coll:  coll,
+		owner: p,
 	}
+	el.migrateTo.Store(-1)
+	el.stealable = p.rt.cfg.StealEnabled && coll.ct.stealable
 	if coll.ct.fast {
 		el.fast = el.iface.(FastDispatcher)
 	}
@@ -401,7 +511,10 @@ func (p *peState) newElement(coll *localColl, cid CID, idx []int, args []any) *e
 	base.ec = &elemCtx{p: p, el: el, coll: coll}
 	el.base = base
 	coll.elems[el.key] = el
+	coll.nLive.Add(1)
 	if info, ok := coll.ct.byName["Init"]; ok {
+		// Inline even for stealable elements: no run grant can exist yet
+		// (routing to the element happens only on this goroutine, after this).
 		p.invokeEMInner(el, info, &Message{Kind: mInvoke, CID: cid, Idx: idx, MID: info.id, Method: "Init", Args: args, Src: p.pe})
 		p.recheck(el)
 	}
@@ -590,6 +703,12 @@ func (p *peState) setHomeLoc(cid CID, key string, at PE) {
 // ---- entry-method delivery ----
 
 func (p *peState) deliverOrBuffer(coll *localColl, el *element, m *Message) {
+	if el.stealable {
+		// Stealable element: park the message in the element's run queue and
+		// make sure some PE holds (or will receive) the run grant (steal.go).
+		p.runqPush(el, m)
+		return
+	}
 	info := p.resolveEM(coll, m)
 	if !p.emReady(el, info, m) {
 		el.buf = append(el.buf, m)
@@ -671,7 +790,7 @@ func (p *peState) invokeEMInner(el *element, info *emInfo, m *Message) {
 	}
 	ret := p.callEM(el, info, args)
 	dur := time.Since(start)
-	el.load += dur
+	el.addLoad(dur)
 	if sm := p.rt.sampler; sm != nil {
 		p.stats.emStart.Store(0)
 		p.stats.busy.Add(int64(dur))
@@ -816,7 +935,7 @@ func (p *peState) waitYield() {
 	y := <-p.yieldCh
 	el := y.th.el
 	seg := time.Since(y.th.segStart)
-	el.load += seg
+	el.addLoad(seg)
 	p.curThread = nil
 	if sm := p.rt.sampler; sm != nil {
 		p.stats.emStart.Store(0)
@@ -914,10 +1033,10 @@ func (p *peState) recheck(el *element) {
 		}
 	}
 	el.inRecheck = false
-	if !el.dead && el.migrateTo >= 0 && el.liveThreads == 0 {
+	if !el.dead && el.migrateTo.Load() >= 0 && el.liveThreads == 0 {
 		p.migrateOut(el)
 	}
-	if !el.dead && el.atSync {
+	if !el.dead && el.atSync.Load() {
 		p.lbMaybeSendStats(el.coll)
 	}
 }
@@ -925,8 +1044,8 @@ func (p *peState) recheck(el *element) {
 // ---- migration (paper section II-I) ----
 
 func (p *peState) migrateOut(el *element) {
-	to := el.migrateTo
-	el.migrateTo = -1
+	to := PE(el.migrateTo.Load())
+	el.migrateTo.Store(-1)
 	if to == p.pe {
 		return
 	}
@@ -938,14 +1057,15 @@ func (p *peState) migrateOut(el *element) {
 		CID:   el.cid,
 		Idx:   el.idx,
 		Blob:  blob,
-		RedNo: el.redNo,
-		Load:  el.load.Seconds(),
+		RedNo: el.redNo.Load(),
+		Load:  el.loadDur().Seconds(),
 	}
 	if el.lbMove {
 		mm.ASeq = 1 // LB-ordered move: receiver acknowledges to the root
 		el.lbMove = false
 	}
 	delete(el.coll.elems, el.key)
+	el.coll.nLive.Add(-1)
 	el.dead = true
 	tm := p.tomb[el.cid]
 	if tm == nil {
@@ -962,6 +1082,15 @@ func (p *peState) migrateOut(el *element) {
 		p.rt.send(to, m)
 	}
 	el.buf = nil
+	if el.runq != nil {
+		// The caller holds the element's run grant, so nothing pushes
+		// concurrently: forward the queued work behind the migrate message.
+		for _, m := range el.runq.takeAll() {
+			p.rt.runqBacklog.Add(-1)
+			p.rt.qdCountRecv(m.Kind) // close the runq hop; send() re-counts
+			p.rt.send(to, m)
+		}
+	}
 	if p.pe == p.rt.homePE(el.cid, el.key) {
 		p.setHomeLoc(el.cid, el.key, to)
 	}
@@ -985,16 +1114,18 @@ func (p *peState) migrateIn(mm *migrateMsg) {
 	}
 	objv := reflect.ValueOf(v)
 	el := &element{
-		obj:       objv,
-		iface:     v,
-		idx:       append([]int(nil), mm.Idx...),
-		key:       idxKey(mm.Idx),
-		cid:       mm.CID,
-		coll:      coll,
-		redNo:     mm.RedNo,
-		load:      time.Duration(mm.Load * float64(time.Second)),
-		migrateTo: -1,
+		obj:   objv,
+		iface: v,
+		idx:   append([]int(nil), mm.Idx...),
+		key:   idxKey(mm.Idx),
+		cid:   mm.CID,
+		coll:  coll,
+		owner: p,
 	}
+	el.redNo.Store(mm.RedNo)
+	el.setLoad(time.Duration(mm.Load * float64(time.Second)))
+	el.migrateTo.Store(-1)
+	el.stealable = p.rt.cfg.StealEnabled && coll.ct.stealable
 	if coll.ct.fast {
 		el.fast = v.(FastDispatcher)
 	}
@@ -1006,6 +1137,7 @@ func (p *peState) migrateIn(mm *migrateMsg) {
 	// We are no longer a stale forwarding target if it boomeranged back.
 	delete(p.tomb[mm.CID], el.key)
 	coll.elems[el.key] = el
+	coll.nLive.Add(1)
 	home := p.rt.homePE(mm.CID, el.key)
 	if home != p.pe {
 		p.rt.send(home, &Message{Kind: mLocUpdate, Src: p.pe, Ctl: &locUpdateMsg{CID: mm.CID, Idx: mm.Idx, At: p.pe}})

@@ -45,7 +45,7 @@ type qdReplyMsg struct {
 // traffic for quiescence purposes.
 func countableKind(k msgKind) bool {
 	switch k {
-	case mInvoke, mFutureSet, mRedPartial, mInsert, mMigrate, mDoneInserting, mChanMsg:
+	case mInvoke, mFutureSet, mRedPartial, mInsert, mMigrate, mDoneInserting, mChanMsg, mRunGrant:
 		return true
 	}
 	return false

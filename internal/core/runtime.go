@@ -132,6 +132,24 @@ type Config struct {
 	// coordinator) and be identical on every node. Nil (the default) keeps
 	// the classic fixed-membership behaviour at zero cost.
 	InitialActive []int
+	// StealEnabled turns on within-node work stealing (steal.go): idle PEs
+	// steal whole-chare run grants from sibling PEs' run queues. Chares of
+	// types with threaded or when-gated entry methods stay pinned to their
+	// owner PE; everything else becomes stealable while keeping per-sender
+	// FIFO order and one-PE-at-a-time execution (DESIGN.md §3.9). Requires
+	// the lock-free mailbox (incompatible with MutexMailbox).
+	StealEnabled bool
+	// StealDequeSize bounds each PE's local deque of stealable run grants
+	// (rounded up to a power of two; overflow falls back to a self-message,
+	// preserving work). 0 selects the default (256).
+	StealDequeSize int
+	// StealSeed seeds each PE's victim-selection RNG (PE index is mixed in),
+	// making steal sequences replayable for deterministic tests. 0 keeps
+	// the default seed.
+	StealSeed int64
+	// MutexMailbox restores the legacy mutex+condvar ring mailbox in place
+	// of the default lock-free MPSC queue; an ablation/escape hatch.
+	MutexMailbox bool
 }
 
 // Runtime is one node of a charmgo job: it hosts PEs, the chare-type
@@ -156,16 +174,24 @@ type Runtime struct {
 	collWrMu sync.Mutex
 	colls    atomic.Pointer[map[CID]*createMsg]
 
-	locMu    sync.Mutex
-	locCache map[CID]map[string]PE // last-known element locations (hints)
+	// last-known element locations (hints), sharded with an epoch-published
+	// lock-free read path (loccache.go)
+	loc *locCache
 
 	pes     []*peState
 	entry   func(*Chare)
 	started atomic.Bool
-	exited  atomic.Bool
-	exitFn  sync.Once
-	wg      sync.WaitGroup
-	done    chan struct{}
+
+	// work stealing (steal.go); all zero when Config.StealEnabled is off
+	nIdle        atomic.Int32 // PEs currently parked with empty deques
+	stealPause   atomic.Int32 // >0: thieves must hand grants back to owners
+	stolenActive atomic.Int32 // grants currently executing on non-owner PEs
+	runqBacklog  atomic.Int64 // messages parked in element run queues
+	dequeSize    int          // resolved Config.StealDequeSize (power of two)
+	exited       atomic.Bool
+	exitFn       sync.Once
+	wg           sync.WaitGroup
+	done         chan struct{}
 
 	// fault tolerance (ft.go)
 	ftEpoch   atomic.Int64 // last committed in-memory checkpoint epoch
@@ -192,19 +218,19 @@ type Runtime struct {
 	intro   *introspect.Cluster // nil unless introspection is configured
 
 	// elastic membership (elastic.go); view stays nil outside elastic mode
-	view     atomic.Pointer[memberView]
-	viewHook func(epoch int64, active []bool)
+	view      atomic.Pointer[memberView]
+	viewHook  func(epoch int64, active []bool)
 	admitHook func(node int) error
-	elMu     sync.Mutex    // serializes coordinator membership transitions
-	running  chan struct{} // closed once Start has wired transport + PEs
-	extMu    sync.Mutex    // external (channel-awaited) futures
-	extSeq   int64
-	extW     map[int64]*extWaiter
-	byeMu    sync.Mutex // leaver-side goodbye collection
-	byeWant  map[int]bool
-	byeGot   map[int]bool
-	byeDone  bool
-	byeCh    chan struct{}
+	elMu      sync.Mutex    // serializes coordinator membership transitions
+	running   chan struct{} // closed once Start has wired transport + PEs
+	extMu     sync.Mutex    // external (channel-awaited) futures
+	extSeq    int64
+	extW      map[int64]*extWaiter
+	byeMu     sync.Mutex // leaver-side goodbye collection
+	byeWant   map[int]bool
+	byeGot    map[int]bool
+	byeDone   bool
+	byeCh     chan struct{}
 
 	// test/diagnostic counters (atomics; the send path is hot)
 	nMsgsLocal atomic.Int64
@@ -222,15 +248,25 @@ func NewRuntime(cfg Config) *Runtime {
 	if cfg.PEs <= 0 {
 		cfg.PEs = 1
 	}
+	if cfg.StealEnabled && cfg.MutexMailbox {
+		panic("core: Config.StealEnabled requires the lock-free mailbox (MutexMailbox must be false)")
+	}
 	rt := &Runtime{
 		cfg:      cfg,
 		types:    map[string]*chareType{},
 		maps:     map[string]ArrayMap{},
 		reducers: map[string]ReducerFunc{},
-		locCache: map[CID]map[string]PE{},
+		loc:      newLocCache(),
 		done:     make(chan struct{}),
 		running:  make(chan struct{}),
 		frags:    map[fragKey]*fragAsm{},
+	}
+	rt.dequeSize = cfg.StealDequeSize
+	if rt.dequeSize <= 0 {
+		rt.dequeSize = defaultDequeSize
+	}
+	for rt.dequeSize&(rt.dequeSize-1) != 0 {
+		rt.dequeSize++ // round up to a power of two (ring index masking)
 	}
 	rt.arity = cfg.TreeArity
 	if rt.arity == 0 {
@@ -780,21 +816,11 @@ func (rt *Runtime) collMeta(cid CID) *createMsg {
 // location cache (hints only; authoritative state lives at home PEs)
 
 func (rt *Runtime) cacheLoc(cid CID, key string, pe PE) {
-	rt.locMu.Lock()
-	m := rt.locCache[cid]
-	if m == nil {
-		m = map[string]PE{}
-		rt.locCache[cid] = m
-	}
-	m[key] = pe
-	rt.locMu.Unlock()
+	rt.loc.put(cid, key, pe)
 }
 
 func (rt *Runtime) cachedLoc(cid CID, key string) (PE, bool) {
-	rt.locMu.Lock()
-	defer rt.locMu.Unlock()
-	pe, ok := rt.locCache[cid][key]
-	return pe, ok
+	return rt.loc.get(cid, key)
 }
 
 // homePE returns the element's home PE, which tracks its location after

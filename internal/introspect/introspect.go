@@ -30,12 +30,14 @@ type PESample struct {
 	BusyNanos int64   `json:"busyNanos"` // entry-method execution time in the window
 	EMs       int64   `json:"ems"`       // entry methods executed in the window
 	Recvs     int64   `json:"recvs"`     // messages dequeued in the window
+	Steals    int64   `json:"steals"`    // run grants stolen from siblings in the window
 	Util      float64 `json:"util"`      // BusyNanos / window length, clamped to [0,1]
 	// Instantaneous state at sample time.
 	MailboxDepth int `json:"mailboxDepth"`
 	// Cumulative totals since job start.
-	TotalEMs   int64 `json:"totalEMs"`
-	TotalRecvs int64 `json:"totalRecvs"`
+	TotalEMs    int64 `json:"totalEMs"`
+	TotalRecvs  int64 `json:"totalRecvs"`
+	TotalSteals int64 `json:"totalSteals,omitempty"`
 }
 
 // HotElem is one of the top-K hottest elements of a collection, ranked by
